@@ -1,0 +1,14 @@
+"""Shared runner for experiment benchmarks."""
+
+from repro.experiments import get_experiment
+
+
+def run_experiment(benchmark, exp_id, scale="s0", benchmarks=None):
+    """Time one full experiment regeneration; sanity-check the result."""
+    result = benchmark.pedantic(
+        lambda: get_experiment(exp_id)(scale=scale, benchmarks=benchmarks),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows, f"{exp_id} produced no rows"
+    return result

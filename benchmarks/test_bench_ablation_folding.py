@@ -1,0 +1,13 @@
+"""Folding-interpreter ablation — regeneration benchmark."""
+
+from bench_util import run_experiment
+
+BENCHMARKS = ("compress",)
+
+
+def test_bench_ablation_folding(benchmark):
+    result = run_experiment(benchmark, "ablation_folding", scale="s0",
+                            benchmarks=BENCHMARKS)
+    for row in result.rows:
+        assert row[1] > 5                   # cycle saving %
+        assert row[6] > row[5]              # wide-issue IPC improves

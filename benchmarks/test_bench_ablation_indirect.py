@@ -1,0 +1,13 @@
+"""Indirect-target predictor ablation — regeneration benchmark."""
+
+from bench_util import run_experiment
+
+BENCHMARKS = ("compress",)
+
+
+def test_bench_ablation_indirect(benchmark):
+    result = run_experiment(benchmark, "ablation_indirect", scale="s0",
+                            benchmarks=BENCHMARKS)
+    by = {(r[0], r[1]): r for r in result.rows}
+    interp = by[("compress", "interp")]
+    assert interp[4] > interp[3]            # target cache beats BTB

@@ -1,0 +1,16 @@
+"""Ablation: JIT inlining on/off — regeneration benchmark.
+
+Times the full experiment pipeline (VM runs, trace replay, simulators)
+at reduced scale and asserts the paper's shape on the result.
+"""
+
+from bench_util import run_experiment
+
+BENCHMARKS = ('db',)
+
+
+def test_bench_ablation_inline(benchmark):
+    result = run_experiment(benchmark, "ablation_inline", scale="s0",
+                            benchmarks=BENCHMARKS)
+    for row in result.rows:
+        assert row[3] >= row[4]

@@ -1,0 +1,16 @@
+"""Ablation: generate-into-I-cache bound — regeneration benchmark.
+
+Times the full experiment pipeline (VM runs, trace replay, simulators)
+at reduced scale and asserts the paper's shape on the result.
+"""
+
+from bench_util import run_experiment
+
+BENCHMARKS = ('db', 'javac')
+
+
+def test_bench_ablation_install(benchmark):
+    result = run_experiment(benchmark, "ablation_install", scale="s0",
+                            benchmarks=BENCHMARKS)
+    for row in result.rows:
+        assert row[2] <= row[1]

@@ -1,0 +1,16 @@
+"""Ablation: three lock designs — regeneration benchmark.
+
+Times the full experiment pipeline (VM runs, trace replay, simulators)
+at reduced scale and asserts the paper's shape on the result.
+"""
+
+from bench_util import run_experiment
+
+BENCHMARKS = ('jack', 'db')
+
+
+def test_bench_ablation_locks(benchmark):
+    result = run_experiment(benchmark, "ablation_locks", scale="s0",
+                            benchmarks=BENCHMARKS)
+    for row in result.rows:
+        assert row[4] > 1.0    # thin lock wins

@@ -1,0 +1,16 @@
+"""Ablation: counter-threshold heuristics vs oracle — regeneration benchmark.
+
+Times the full experiment pipeline (VM runs, trace replay, simulators)
+at reduced scale and asserts the paper's shape on the result.
+"""
+
+from bench_util import run_experiment
+
+BENCHMARKS = ('db',)
+
+
+def test_bench_ablation_strategy(benchmark):
+    result = run_experiment(benchmark, "ablation_strategy", scale="s0",
+                            benchmarks=BENCHMARKS)
+    for row in result.rows:
+        assert row[-1] <= min(row[1:]) + 1e-9

@@ -1,0 +1,12 @@
+"""Victim-buffer ablation — regeneration benchmark."""
+
+from bench_util import run_experiment
+
+BENCHMARKS = ("javac",)
+
+
+def test_bench_ablation_victim(benchmark):
+    result = run_experiment(benchmark, "ablation_victim", scale="s0",
+                            benchmarks=BENCHMARKS)
+    for row in result.rows:
+        assert row[3] <= row[2] + 1e-9   # victim never hurts

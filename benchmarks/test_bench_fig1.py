@@ -1,0 +1,17 @@
+"""Figure 1: translate/execute split, oracle, interp/JIT ratio — regeneration benchmark.
+
+Times the full experiment pipeline (VM runs, trace replay, simulators)
+at reduced scale and asserts the paper's shape on the result.
+"""
+
+from bench_util import run_experiment
+
+BENCHMARKS = ('hello', 'db', 'compress')
+
+
+def test_bench_fig1(benchmark):
+    result = run_experiment(benchmark, "fig1", scale="s0",
+                            benchmarks=BENCHMARKS)
+    rows = result.row_map()
+    assert rows["db"][1] > rows["compress"][1]      # db translate-heavier
+    assert all(r[4] <= 1.01 for r in rows.values())  # oracle never loses

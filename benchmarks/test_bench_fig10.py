@@ -1,0 +1,16 @@
+"""Figure 10: normalized execution time vs width — regeneration benchmark.
+
+Times the full experiment pipeline (VM runs, trace replay, simulators)
+at reduced scale and asserts the paper's shape on the result.
+"""
+
+from bench_util import run_experiment
+
+BENCHMARKS = ('db', 'compress')
+
+
+def test_bench_fig10(benchmark):
+    result = run_experiment(benchmark, "fig10", scale="s0",
+                            benchmarks=BENCHMARKS)
+    for row in result.rows:
+        assert row[2] == 1.0 or row[2] <= 1.0

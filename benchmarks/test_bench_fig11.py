@@ -1,0 +1,16 @@
+"""Figure 11: sync case mix and thin-lock speedup — regeneration benchmark.
+
+Times the full experiment pipeline (VM runs, trace replay, simulators)
+at reduced scale and asserts the paper's shape on the result.
+"""
+
+from bench_util import run_experiment
+
+BENCHMARKS = ('jack', 'db', 'mtrt')
+
+
+def test_bench_fig11(benchmark):
+    result = run_experiment(benchmark, "fig11", scale="s0",
+                            benchmarks=BENCHMARKS)
+    for row in result.rows:
+        assert row[1] > 80.0   # case (a) dominates

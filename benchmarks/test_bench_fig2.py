@@ -1,0 +1,16 @@
+"""Figure 2: instruction mix vs C/C++ — regeneration benchmark.
+
+Times the full experiment pipeline (VM runs, trace replay, simulators)
+at reduced scale and asserts the paper's shape on the result.
+"""
+
+from bench_util import run_experiment
+
+BENCHMARKS = ('db', 'compress')
+
+
+def test_bench_fig2(benchmark):
+    result = run_experiment(benchmark, "fig2", scale="s0",
+                            benchmarks=BENCHMARKS)
+    rows = result.row_map()
+    assert rows["java/interp"][1] > rows["java/jit"][1]  # more memory ops

@@ -1,0 +1,16 @@
+"""Figure 3: write share of data misses — regeneration benchmark.
+
+Times the full experiment pipeline (VM runs, trace replay, simulators)
+at reduced scale and asserts the paper's shape on the result.
+"""
+
+from bench_util import run_experiment
+
+BENCHMARKS = ('db', 'javac')
+
+
+def test_bench_fig3(benchmark):
+    result = run_experiment(benchmark, "fig3", scale="s0",
+                            benchmarks=BENCHMARKS)
+    for row in result.rows:
+        assert row[2] > 25.0

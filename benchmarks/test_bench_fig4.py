@@ -1,0 +1,16 @@
+"""Figure 4: average miss rates vs C/C++ — regeneration benchmark.
+
+Times the full experiment pipeline (VM runs, trace replay, simulators)
+at reduced scale and asserts the paper's shape on the result.
+"""
+
+from bench_util import run_experiment
+
+BENCHMARKS = ('db', 'compress')
+
+
+def test_bench_fig4(benchmark):
+    result = run_experiment(benchmark, "fig4", scale="s0",
+                            benchmarks=BENCHMARKS)
+    rows = result.row_map()
+    assert rows["java/interp"][1] <= rows["C"][1]

@@ -1,0 +1,16 @@
+"""Figure 5: cache misses inside translate — regeneration benchmark.
+
+Times the full experiment pipeline (VM runs, trace replay, simulators)
+at reduced scale and asserts the paper's shape on the result.
+"""
+
+from bench_util import run_experiment
+
+BENCHMARKS = ('db', 'javac')
+
+
+def test_bench_fig5(benchmark):
+    result = run_experiment(benchmark, "fig5", scale="s0",
+                            benchmarks=BENCHMARKS)
+    for row in result.rows:
+        assert row[3] > 40.0   # translate misses mostly writes

@@ -1,0 +1,15 @@
+"""Figure 6: miss-count time series (db) — regeneration benchmark.
+
+Times the full experiment pipeline (VM runs, trace replay, simulators)
+at reduced scale and asserts the paper's shape on the result.
+"""
+
+from bench_util import run_experiment
+
+BENCHMARKS = ('db',)
+
+
+def test_bench_fig6(benchmark):
+    result = run_experiment(benchmark, "fig6", scale="s0",
+                            benchmarks=BENCHMARKS)
+    assert len(result.rows) == 2

@@ -1,0 +1,16 @@
+"""Figure 7: associativity sweep — regeneration benchmark.
+
+Times the full experiment pipeline (VM runs, trace replay, simulators)
+at reduced scale and asserts the paper's shape on the result.
+"""
+
+from bench_util import run_experiment
+
+BENCHMARKS = ('db', 'compress')
+
+
+def test_bench_fig7(benchmark):
+    result = run_experiment(benchmark, "fig7", scale="s0",
+                            benchmarks=BENCHMARKS)
+    for row in result.rows:
+        assert row[6] >= row[7] - 1e-9   # D: 1-way >= 2-way

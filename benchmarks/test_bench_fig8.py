@@ -1,0 +1,15 @@
+"""Figure 8: line-size sweep — regeneration benchmark.
+
+Times the full experiment pipeline (VM runs, trace replay, simulators)
+at reduced scale and asserts the paper's shape on the result.
+"""
+
+from bench_util import run_experiment
+
+BENCHMARKS = ('db', 'compress')
+
+
+def test_bench_fig8(benchmark):
+    result = run_experiment(benchmark, "fig8", scale="s0",
+                            benchmarks=BENCHMARKS)
+    assert {r[1] for r in result.rows} == {"interp", "jit"}

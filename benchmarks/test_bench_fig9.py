@@ -1,0 +1,16 @@
+"""Figure 9: IPC vs issue width — regeneration benchmark.
+
+Times the full experiment pipeline (VM runs, trace replay, simulators)
+at reduced scale and asserts the paper's shape on the result.
+"""
+
+from bench_util import run_experiment
+
+BENCHMARKS = ('db', 'compress')
+
+
+def test_bench_fig9(benchmark):
+    result = run_experiment(benchmark, "fig9", scale="s0",
+                            benchmarks=BENCHMARKS)
+    for row in result.rows:
+        assert row[2] <= row[5] + 0.2   # wider machines not slower

@@ -1,0 +1,12 @@
+"""Bytecode/method locality statistics — regeneration benchmark."""
+
+from bench_util import run_experiment
+
+BENCHMARKS = ("compress", "db")
+
+
+def test_bench_locality(benchmark):
+    result = run_experiment(benchmark, "locality", scale="s0",
+                            benchmarks=BENCHMARKS)
+    for row in result.rows:
+        assert row[2] > 50          # top-15 coverage %

@@ -1,0 +1,11 @@
+"""Input-scale sensitivity study — regeneration benchmark."""
+
+from bench_util import run_experiment
+
+BENCHMARKS = ("db",)
+
+
+def test_bench_scale_study(benchmark):
+    result = run_experiment(benchmark, "scale_study", benchmarks=BENCHMARKS)
+    shares = [r[3] for r in result.rows]    # s0, s1, s10 translate shares
+    assert shares[0] > shares[-1]           # amortization with scale

@@ -1,0 +1,16 @@
+"""Table 1: memory footprint interp vs JIT — regeneration benchmark.
+
+Times the full experiment pipeline (VM runs, trace replay, simulators)
+at reduced scale and asserts the paper's shape on the result.
+"""
+
+from bench_util import run_experiment
+
+BENCHMARKS = ('db', 'compress', 'jess')
+
+
+def test_bench_table1(benchmark):
+    result = run_experiment(benchmark, "table1", scale="s0",
+                            benchmarks=BENCHMARKS)
+    for row in result.rows:
+        assert row[2] > row[1]   # JIT needs more memory

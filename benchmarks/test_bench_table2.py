@@ -1,0 +1,18 @@
+"""Table 2: branch misprediction, four predictors — regeneration benchmark.
+
+Times the full experiment pipeline (VM runs, trace replay, simulators)
+at reduced scale and asserts the paper's shape on the result.
+"""
+
+from bench_util import run_experiment
+
+BENCHMARKS = ('compress', 'db')
+
+
+def test_bench_table2(benchmark):
+    result = run_experiment(benchmark, "table2", scale="s0",
+                            benchmarks=BENCHMARKS)
+    h = result.headers
+    by = {(r[0], r[1]): r for r in result.rows}
+    g = h.index("gshare")
+    assert by[("compress", "interp")][g] > by[("compress", "jit")][g]

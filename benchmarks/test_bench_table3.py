@@ -1,0 +1,16 @@
+"""Table 3: L1 references and misses per mode — regeneration benchmark.
+
+Times the full experiment pipeline (VM runs, trace replay, simulators)
+at reduced scale and asserts the paper's shape on the result.
+"""
+
+from bench_util import run_experiment
+
+BENCHMARKS = ('compress', 'db')
+
+
+def test_bench_table3(benchmark):
+    result = run_experiment(benchmark, "table3", scale="s0",
+                            benchmarks=BENCHMARKS)
+    by = {(r[0], r[1]): r for r in result.rows}
+    assert by[("compress", "jit")][5] < by[("compress", "interp")][5]

@@ -1,0 +1,65 @@
+"""Cache behaviour of one benchmark under both modes.
+
+Replays the benchmark's native trace through several cache geometries —
+the paper's Section 4.3 methodology: base 64K split L1, a line-size
+sweep, and translate-portion attribution for the JIT mode.
+
+Usage::
+
+    python examples/cache_study.py [benchmark] [scale]
+"""
+
+import sys
+
+from repro.analysis import get_trace
+from repro.arch.caches import simulate_split_l1
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "db"
+    scale = sys.argv[2] if len(sys.argv) > 2 else "s1"
+
+    print(f"cache study: {benchmark} ({scale})\n")
+
+    traces = {mode: get_trace(benchmark, scale, mode)
+              for mode in ("interp", "jit")}
+
+    print("base geometry (64K, 32B lines, I 2-way / D 4-way):")
+    print(f"{'mode':8s}{'I refs':>12s}{'I miss%':>9s}"
+          f"{'D refs':>12s}{'D miss%':>9s}{'wr-miss%':>10s}")
+    for mode, trace in traces.items():
+        r = simulate_split_l1(trace)
+        print(f"{mode:8s}{r.icache.total_refs:>12,}"
+              f"{100 * r.icache.miss_rate:>9.3f}"
+              f"{r.dcache.total_refs:>12,}"
+              f"{100 * r.dcache.miss_rate:>9.3f}"
+              f"{100 * r.dcache.write_miss_fraction:>10.1f}")
+
+    print("\nline-size sweep, 8K direct-mapped D-cache (miss %):")
+    print(f"{'mode':8s}" + "".join(f"{b:>8d}B" for b in (16, 32, 64, 128)))
+    for mode, trace in traces.items():
+        rates = []
+        for block in (16, 32, 64, 128):
+            r = simulate_split_l1(
+                trace,
+                dcache={"size": 8 << 10, "assoc": 1, "block": block},
+            )
+            rates.append(100 * r.dcache.miss_rate)
+        print(f"{mode:8s}" + "".join(f"{v:>9.3f}" for v in rates))
+
+    print("\ntranslate-portion attribution (JIT mode):")
+    r = simulate_split_l1(traces["jit"], attribute_translate=True)
+    d = r.dcache
+    share = d.misses[1] / max(1, d.total_misses)
+    writes = d.write_misses[1] / max(1, d.misses[1])
+    print(f"  D-misses inside translate : {int(d.misses[1]):,} "
+          f"({100 * share:.0f}% of all)")
+    print(f"  of which writes           : {100 * writes:.0f}% "
+          f"(code generation / installation)")
+    print("\nThe paper's Section 6 proposal follows from these numbers:")
+    print("generate code directly into the I-cache to avoid the redundant")
+    print("fetch-on-write-allocate and the D->I transfer.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Analyses: hybrid oracle model, instruction mix, runners, reporting."""
+
+from .hybrid import MethodDecision, OracleAnalysis
+from .mix import indirect_fraction, mix_from_counts, mix_from_trace, summarize
+from .report import format_bars, format_stacked_bars, format_table
+from .runner import (
+    CACHE_VERSION,
+    get_trace,
+    make_strategy,
+    oracle_analysis,
+    oracle_run,
+    run_vm,
+)
+
+__all__ = [
+    "CACHE_VERSION",
+    "MethodDecision",
+    "OracleAnalysis",
+    "format_bars",
+    "format_stacked_bars",
+    "format_table",
+    "get_trace",
+    "indirect_fraction",
+    "make_strategy",
+    "mix_from_counts",
+    "mix_from_trace",
+    "oracle_analysis",
+    "oracle_run",
+    "run_vm",
+    "summarize",
+]

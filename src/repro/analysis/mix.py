@@ -1,0 +1,48 @@
+"""Instruction-mix analysis (Figure 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..native.nisa import MIX_BUCKETS, N_CATEGORIES, NCat, mix_bucket
+
+#: Summary groups used in the paper's prose.
+SUMMARY_GROUPS = {
+    "memory": ("load", "store"),
+    "transfer": ("branch", "call", "ijump", "jump", "ret"),
+    "compute": ("ialu", "fpu"),
+    "other": ("nop",),
+}
+
+
+def mix_from_counts(cat_counts: np.ndarray) -> dict[str, float]:
+    """Bucket fractions from a per-category count vector."""
+    total = int(cat_counts.sum())
+    if total == 0:
+        return {b: 0.0 for b in MIX_BUCKETS}
+    buckets = {b: 0 for b in MIX_BUCKETS}
+    for c in range(N_CATEGORIES):
+        buckets[mix_bucket(c)] += int(cat_counts[c])
+    return {b: v / total for b, v in buckets.items()}
+
+
+def mix_from_trace(trace) -> dict[str, float]:
+    return mix_from_counts(trace.category_counts())
+
+
+def summarize(mix: dict[str, float]) -> dict[str, float]:
+    """Collapse the fine buckets into memory/transfer/compute groups."""
+    return {
+        group: sum(mix[b] for b in members)
+        for group, members in SUMMARY_GROUPS.items()
+    }
+
+
+def indirect_fraction(cat_counts: np.ndarray) -> float:
+    """Dynamic fraction of indirect control transfers (ijump + icall + ret)."""
+    total = int(cat_counts.sum())
+    if total == 0:
+        return 0.0
+    ind = (int(cat_counts[NCat.IJUMP]) + int(cat_counts[NCat.ICALL])
+           + int(cat_counts[NCat.RET]))
+    return ind / total

@@ -1,0 +1,77 @@
+"""ASCII table / figure rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """A boxed, right-aligned ASCII table."""
+    columns = [
+        [str(h)] + [_fmt(r[i]) for r in rows] for i, h in enumerate(headers)
+    ]
+    widths = [max(len(v) for v in col) for col in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for r in rows:
+        lines.append(
+            " | ".join(_fmt(v).rjust(w) for v, w in zip(r, widths))
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    if isinstance(value, int) and abs(value) >= 10000:
+        return f"{value:,d}"
+    return str(value)
+
+
+def format_bars(items: Sequence[tuple[str, float]], width: int = 50,
+                title: str = "", unit: str = "") -> str:
+    """A horizontal ASCII bar chart (for figure-style results)."""
+    if not items:
+        return title
+    peak = max(v for _, v in items) or 1.0
+    name_w = max(len(n) for n, _ in items)
+    lines = [title] if title else []
+    for name, value in items:
+        bar = "#" * max(1, int(round(width * value / peak))) if value > 0 else ""
+        lines.append(f"{name.rjust(name_w)} | {bar} {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def format_stacked_bars(
+    items: Sequence[tuple[str, Sequence[tuple[str, float]]]],
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Stacked horizontal bars (e.g. translate vs execute in Figure 1)."""
+    glyphs = "#=+*o"
+    peak = max((sum(v for _, v in parts) for _, parts in items), default=1.0) or 1.0
+    name_w = max(len(n) for n, _ in items)
+    lines = [title] if title else []
+    legend = []
+    for name, parts in items:
+        bar = ""
+        for k, (part_name, value) in enumerate(parts):
+            g = glyphs[k % len(glyphs)]
+            bar += g * max(0, int(round(width * value / peak)))
+            if len(legend) <= k:
+                legend.append(f"{g}={part_name}")
+        total = sum(v for _, v in parts)
+        lines.append(f"{name.rjust(name_w)} | {bar} {total:.3g}")
+    lines.append("legend: " + "  ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""High-level run-and-measure API used by experiments, examples, tests.
+
+``run_vm`` executes one workload under one configuration and returns the
+:class:`~repro.vm.machine.VMResult`.  ``get_trace`` additionally records
+the full native trace, with a transparent on-disk cache — every
+experiment replays the same (deterministic) traces through different
+simulators, so recording each (workload, scale, mode) once pays off
+across the whole harness.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..native.trace import Trace
+from ..sync import LOCK_MANAGERS
+from ..vm.machine import JavaVM, VMResult
+from ..vm.strategy import (
+    CompileOnFirstUse,
+    CounterThreshold,
+    InterpretOnly,
+    OracleStrategy,
+    Strategy,
+)
+from ..workloads.base import get_workload
+from .hybrid import OracleAnalysis
+
+#: Bump when trace-affecting code changes to invalidate cached archives.
+CACHE_VERSION = 10
+
+#: Default cache directory (created on demand; set to None to disable).
+DEFAULT_CACHE_DIR = os.environ.get("REPRO_TRACE_CACHE", ".trace_cache")
+
+MODES = ("interp", "jit")
+
+
+def make_strategy(mode, oracle_set=None) -> Strategy:
+    """Strategy instance from a mode name."""
+    if isinstance(mode, Strategy):
+        return mode
+    if mode == "interp":
+        return InterpretOnly()
+    if mode == "jit":
+        return CompileOnFirstUse()
+    if mode == "oracle":
+        return OracleStrategy(oracle_set or set())
+    if isinstance(mode, tuple) and mode[0] == "counter":
+        return CounterThreshold(mode[1])
+    raise ValueError(f"unknown mode {mode!r}")
+
+
+def run_vm(
+    workload: str,
+    scale: str = "s1",
+    mode="jit",
+    record: bool = False,
+    lock_manager: str = "monitor-cache",
+    inline: bool = True,
+    profile: bool = True,
+    oracle_set: set | None = None,
+    folding: bool = False,
+) -> VMResult:
+    """Build a fresh VM for the workload and run it to completion."""
+    program = get_workload(workload).build(scale)
+    vm = JavaVM(
+        program,
+        strategy=make_strategy(mode, oracle_set),
+        lock_manager=LOCK_MANAGERS[lock_manager](),
+        record=record,
+        inline=inline,
+        profile=profile,
+        folding=folding,
+    )
+    return vm.run()
+
+
+def _cache_path(cache_dir: str, workload: str, scale: str, mode: str) -> str:
+    return os.path.join(
+        cache_dir, f"{workload}-{scale}-{mode}-v{CACHE_VERSION}.npz"
+    )
+
+
+def get_trace(
+    workload: str,
+    scale: str = "s1",
+    mode: str = "jit",
+    cache_dir: str | None = DEFAULT_CACHE_DIR,
+) -> Trace:
+    """Full native trace for (workload, scale, mode), cached on disk."""
+    if cache_dir:
+        path = _cache_path(cache_dir, workload, scale, mode)
+        if os.path.exists(path):
+            return Trace.load(path)
+    folding = mode.endswith("-fold")
+    vm_mode = mode[:-5] if folding else mode
+    result = run_vm(workload, scale=scale, mode=vm_mode, record=True,
+                    profile=False, folding=folding)
+    trace = result.trace
+    if cache_dir:
+        os.makedirs(cache_dir, exist_ok=True)
+        trace.save(_cache_path(cache_dir, workload, scale, mode))
+    return trace
+
+
+def oracle_analysis(workload: str, scale: str = "s1") -> OracleAnalysis:
+    """Profile interpreter and JIT runs; return the opt-model analysis."""
+    interp = run_vm(workload, scale=scale, mode="interp")
+    jit = run_vm(workload, scale=scale, mode="jit")
+    return OracleAnalysis(interp, jit)
+
+
+def oracle_run(workload: str, scale: str = "s1") -> tuple[OracleAnalysis, VMResult]:
+    """The opt analysis plus a *real* mixed-mode run enacting it."""
+    analysis = oracle_analysis(workload, scale)
+    mixed = run_vm(workload, scale=scale, mode="oracle",
+                   oracle_set=analysis.methods_to_compile)
+    return analysis, mixed

@@ -1,0 +1,1 @@
+"""Architectural simulators: caches, branch prediction, pipeline."""

@@ -1,0 +1,277 @@
+"""Branch predictors (Table 2) and the branch target buffer.
+
+Four direction predictors, matching the paper's setup: a single shared
+2-bit counter (validation baseline), a 1-level 2K-entry branch history
+table, Gshare with 5 bits of global history, and a GAp two-level
+predictor (2K-entry per-address history, 256-entry second level).
+Targets of taken transfers are predicted by a 1K-entry BTB; returns use
+a small return-address stack.
+
+A control transfer counts as mispredicted when its direction is wrong
+(conditional branches) or its target is wrong (any taken transfer) —
+which is what makes the interpreter's switch-dispatch indirect jump,
+one pc with ~80 targets, so costly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...native.nisa import NCat
+
+
+class TwoBitCounter:
+    """Saturating 2-bit counter starting weakly taken."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 2) -> None:
+        self.value = value
+
+    def predict(self) -> bool:
+        return self.value >= 2
+
+    def update(self, taken: bool) -> None:
+        if taken:
+            self.value = min(3, self.value + 1)
+        else:
+            self.value = max(0, self.value - 1)
+
+
+class DirectionPredictor:
+    """Interface for direction predictors."""
+
+    name = "abstract"
+
+    def predict(self, pc: int) -> bool:
+        raise NotImplementedError
+
+    def update(self, pc: int, taken: bool) -> None:
+        raise NotImplementedError
+
+
+class SingleTwoBit(DirectionPredictor):
+    """One shared 2-bit counter for every branch."""
+
+    name = "2bit"
+
+    def __init__(self) -> None:
+        self._counter = 2
+
+    def predict(self, pc: int) -> bool:
+        return self._counter >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        if taken:
+            self._counter = min(3, self._counter + 1)
+        else:
+            self._counter = max(0, self._counter - 1)
+
+
+class BimodalBHT(DirectionPredictor):
+    """1-level branch history table: 2-bit counters indexed by pc."""
+
+    name = "bht"
+
+    def __init__(self, entries: int = 2048) -> None:
+        self.entries = entries
+        self._table = [2] * entries
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) % self.entries
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        i = self._index(pc)
+        v = self._table[i]
+        self._table[i] = min(3, v + 1) if taken else max(0, v - 1)
+
+
+class Gshare(DirectionPredictor):
+    """Global history XOR pc, 2-bit counters."""
+
+    name = "gshare"
+
+    def __init__(self, entries: int = 2048, history_bits: int = 5) -> None:
+        self.entries = entries
+        self.history_bits = history_bits
+        self._mask = (1 << history_bits) - 1
+        self._history = 0
+        self._table = [2] * entries
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) % self.entries
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        i = self._index(pc)
+        v = self._table[i]
+        self._table[i] = min(3, v + 1) if taken else max(0, v - 1)
+        self._history = ((self._history << 1) | int(taken)) & self._mask
+
+
+class GAp(DirectionPredictor):
+    """Two-level, per-address history (Yeh & Patt's GAp flavour):
+    a 2K-entry first-level history table and a 256-entry second-level
+    pattern table of 2-bit counters."""
+
+    name = "gap"
+
+    def __init__(self, l1_entries: int = 2048, l2_entries: int = 256,
+                 history_bits: int = 5) -> None:
+        self.l1_entries = l1_entries
+        self.l2_entries = l2_entries
+        self._hmask = (1 << history_bits) - 1
+        self._histories = [0] * l1_entries
+        self._counters = [2] * l2_entries
+
+    def _l1(self, pc: int) -> int:
+        return (pc >> 2) % self.l1_entries
+
+    def predict(self, pc: int) -> bool:
+        history = self._histories[self._l1(pc)]
+        return self._counters[history % self.l2_entries] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        i = self._l1(pc)
+        history = self._histories[i]
+        j = history % self.l2_entries
+        v = self._counters[j]
+        self._counters[j] = min(3, v + 1) if taken else max(0, v - 1)
+        self._histories[i] = ((history << 1) | int(taken)) & self._hmask
+
+
+class BTB:
+    """Direct-mapped branch target buffer."""
+
+    def __init__(self, entries: int = 1024) -> None:
+        self.entries = entries
+        self._tags = [-1] * entries
+        self._targets = [0] * entries
+        self.hits = 0
+        self.misses = 0
+        self.wrong_target = 0
+
+    def lookup(self, pc: int) -> int | None:
+        i = (pc >> 2) % self.entries
+        if self._tags[i] == pc:
+            return self._targets[i]
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        i = (pc >> 2) % self.entries
+        self._tags[i] = pc
+        self._targets[i] = target
+
+
+PREDICTORS = {
+    "2bit": SingleTwoBit,
+    "bht": BimodalBHT,
+    "gshare": Gshare,
+    "gap": GAp,
+}
+
+
+class BranchSimResult:
+    """Outcome of running one predictor over a trace's transfers."""
+
+    def __init__(self) -> None:
+        self.transfers = 0
+        self.conditional = 0
+        self.cond_mispredicts = 0
+        self.target_mispredicts = 0
+        self.indirect = 0
+        self.indirect_mispredicts = 0
+
+    @property
+    def mispredicts(self) -> int:
+        return self.cond_mispredicts + self.target_mispredicts
+
+    @property
+    def misprediction_rate(self) -> float:
+        """Mispredictions per control transfer (the Table 2 metric)."""
+        return self.mispredicts / self.transfers if self.transfers else 0.0
+
+    @property
+    def conditional_rate(self) -> float:
+        return (self.cond_mispredicts / self.conditional
+                if self.conditional else 0.0)
+
+    @property
+    def indirect_rate(self) -> float:
+        return (self.indirect_mispredicts / self.indirect
+                if self.indirect else 0.0)
+
+
+def extract_transfers(trace):
+    """(pc, cat, taken, target) arrays of the trace's control transfers."""
+    mask = trace.is_transfer
+    return (
+        trace.pc[mask].tolist(),
+        trace.cat[mask].tolist(),
+        trace.is_taken[mask].tolist(),
+        trace.target[mask].tolist(),
+    )
+
+
+def run_predictor(
+    predictor: DirectionPredictor,
+    pcs, cats, takens, targets,
+    btb_entries: int = 1024,
+    use_ras: bool = True,
+) -> BranchSimResult:
+    """Drive one direction predictor + BTB (+RAS) over transfer events."""
+    btb = BTB(btb_entries)
+    ras: list[int] = []
+    result = BranchSimResult()
+    BRANCH, JUMP, CALL = int(NCat.BRANCH), int(NCat.JUMP), int(NCat.CALL)
+    ICALL, IJUMP, RET = int(NCat.ICALL), int(NCat.IJUMP), int(NCat.RET)
+
+    for pc, cat, taken, target in zip(pcs, cats, takens, targets):
+        result.transfers += 1
+        if cat == BRANCH:
+            result.conditional += 1
+            predicted = predictor.predict(pc)
+            if predicted != taken:
+                result.cond_mispredicts += 1
+            elif taken:
+                # Right direction; target must still come from the BTB.
+                if btb.lookup(pc) != target:
+                    result.target_mispredicts += 1
+            predictor.update(pc, taken)
+            if taken:
+                btb.update(pc, target)
+        elif cat in (JUMP, CALL):
+            # Direct, always-taken: decode provides the target.
+            if cat == CALL and use_ras:
+                ras.append(pc + 4)
+        elif cat == RET:
+            result.indirect += 1
+            predicted_target = ras.pop() if (use_ras and ras) else btb.lookup(pc)
+            if predicted_target != target:
+                result.target_mispredicts += 1
+                result.indirect_mispredicts += 1
+            btb.update(pc, target)
+        else:  # IJUMP, ICALL
+            result.indirect += 1
+            if btb.lookup(pc) != target:
+                result.target_mispredicts += 1
+                result.indirect_mispredicts += 1
+            btb.update(pc, target)
+            if cat == ICALL and use_ras:
+                ras.append(pc + 4)
+                if len(ras) > 16:
+                    del ras[0]
+    return result
+
+
+def compare_predictors(trace, names=("2bit", "bht", "gshare", "gap")):
+    """Misprediction results for several predictors over one trace."""
+    events = extract_transfers(trace)
+    return {
+        name: run_predictor(PREDICTORS[name](), *events) for name in names
+    }

@@ -1,0 +1,24 @@
+"""Cache simulation."""
+
+from .cache import CacheConfig, CacheSim, CacheStats, simulate
+from .harness import (
+    DEFAULT_DCACHE,
+    DEFAULT_ICACHE,
+    SplitL1Result,
+    data_stream,
+    instruction_stream,
+    simulate_split_l1,
+)
+
+__all__ = [
+    "CacheConfig",
+    "CacheSim",
+    "CacheStats",
+    "DEFAULT_DCACHE",
+    "DEFAULT_ICACHE",
+    "SplitL1Result",
+    "data_stream",
+    "instruction_stream",
+    "simulate",
+    "simulate_split_l1",
+]

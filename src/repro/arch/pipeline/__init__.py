@@ -1,0 +1,17 @@
+"""Superscalar pipeline model."""
+
+from .superscalar import (
+    LATENCY,
+    PipelineConfig,
+    PipelineResult,
+    ipc_by_width,
+    simulate_pipeline,
+)
+
+__all__ = [
+    "LATENCY",
+    "PipelineConfig",
+    "PipelineResult",
+    "ipc_by_width",
+    "simulate_pipeline",
+]

@@ -1,0 +1,257 @@
+"""Trace-driven superscalar pipeline model (Figures 9 and 10).
+
+An out-of-order-completion, W-wide-fetch model with the structures that
+dominate wide-issue behaviour for this study:
+
+- W-way fetch, one taken control transfer per cycle,
+- gshare + BTB + return-address stack steering the front end; a
+  mispredict stalls fetch until the branch resolves, plus a redirect
+  penalty,
+- split L1 caches; an I-miss stalls fetch, a D-miss lengthens the
+  load's latency (and thereby dependent instructions and branch
+  resolution),
+- a reorder buffer bounding in-flight instructions; register
+  dependences delay an instruction's start, in-order retirement frees
+  ROB slots.
+
+The absolute IPC is a model artifact; the experiments use its *relative*
+behaviour across modes and widths, as the paper does.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ...native.nisa import FLAG_TAKEN, FLAG_WRITE, NCat
+from ..branch.predictors import BTB, Gshare
+
+#: Execution latency per category (cycles).
+LATENCY = {
+    int(NCat.NOP): 1, int(NCat.IALU): 1, int(NCat.IMUL): 4,
+    int(NCat.IDIV): 20, int(NCat.FALU): 3, int(NCat.FMUL): 4,
+    int(NCat.FDIV): 12, int(NCat.LOAD): 2, int(NCat.STORE): 1,
+    int(NCat.BRANCH): 1, int(NCat.JUMP): 1, int(NCat.IJUMP): 1,
+    int(NCat.CALL): 1, int(NCat.ICALL): 1, int(NCat.RET): 1,
+}
+
+
+class PipelineConfig:
+    """Machine parameters."""
+
+    def __init__(
+        self,
+        width: int = 4,
+        rob_size: int = 64,
+        mispredict_penalty: int = 4,
+        icache_size: int = 64 << 10,
+        dcache_size: int = 64 << 10,
+        block: int = 32,
+        icache_assoc: int = 2,
+        dcache_assoc: int = 4,
+        imiss_penalty: int = 8,
+        dmiss_penalty: int = 8,
+    ) -> None:
+        self.width = width
+        self.rob_size = rob_size
+        self.mispredict_penalty = mispredict_penalty
+        self.icache_size = icache_size
+        self.dcache_size = dcache_size
+        self.block = block
+        self.icache_assoc = icache_assoc
+        self.dcache_assoc = dcache_assoc
+        self.imiss_penalty = imiss_penalty
+        self.dmiss_penalty = dmiss_penalty
+
+    def __repr__(self) -> str:
+        return f"PipelineConfig(width={self.width})"
+
+
+class _InlineCache:
+    """Minimal LRU set-associative cache for the pipeline's inner loop."""
+
+    __slots__ = ("sets", "set_mask", "block_shift", "assoc", "clock")
+
+    def __init__(self, size: int, block: int, assoc: int) -> None:
+        n_sets = size // (block * assoc)
+        self.sets = [dict() for _ in range(n_sets)]
+        self.set_mask = n_sets - 1
+        self.block_shift = block.bit_length() - 1
+        self.assoc = assoc
+        self.clock = 0
+
+    def access(self, addr: int) -> bool:
+        """True on hit."""
+        block = addr >> self.block_shift
+        s = self.sets[block & self.set_mask]
+        self.clock += 1
+        if block in s:
+            s[block] = self.clock
+            return True
+        if len(s) >= self.assoc:
+            victim = min(s, key=s.get)
+            del s[victim]
+        s[block] = self.clock
+        return False
+
+
+class PipelineResult:
+    """IPC and component counts for one simulation."""
+
+    def __init__(self, instructions: int, cycles: int,
+                 mispredicts: int, imisses: int, dmisses: int) -> None:
+        self.instructions = instructions
+        self.cycles = max(cycles, 1)
+        self.mispredicts = mispredicts
+        self.imisses = imisses
+        self.dmisses = dmisses
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles
+
+    def __repr__(self) -> str:
+        return (
+            f"PipelineResult(ipc={self.ipc:.2f}, n={self.instructions}, "
+            f"cycles={self.cycles})"
+        )
+
+
+def simulate_pipeline(trace, config: PipelineConfig | None = None) -> PipelineResult:
+    """Run a native trace through the pipeline model."""
+    cfg = config or PipelineConfig()
+    n = trace.n
+    if n == 0:
+        return PipelineResult(0, 1, 0, 0, 0)
+
+    pcs = trace.pc.tolist()
+    cats = trace.cat.tolist()
+    eas = trace.ea.tolist()
+    flags = trace.flags.tolist()
+    targets = trace.target.tolist()
+    dsts = trace.dst.tolist()
+    src1s = trace.src1.tolist()
+    src2s = trace.src2.tolist()
+
+    icache = _InlineCache(cfg.icache_size, cfg.block, cfg.icache_assoc)
+    dcache = _InlineCache(cfg.dcache_size, cfg.block, cfg.dcache_assoc)
+    predictor = Gshare()
+    btb = BTB()
+    ras: list[int] = []
+
+    latency = LATENCY
+    BRANCH, JUMP, CALL = int(NCat.BRANCH), int(NCat.JUMP), int(NCat.CALL)
+    ICALL, IJUMP, RET = int(NCat.ICALL), int(NCat.IJUMP), int(NCat.RET)
+    LOAD, STORE = int(NCat.LOAD), int(NCat.STORE)
+    W = cfg.width
+    ROB = cfg.rob_size
+    MISP = cfg.mispredict_penalty
+    IMISS = cfg.imiss_penalty
+    DMISS = cfg.dmiss_penalty
+
+    ready = [0] * 33          # per-register availability (index -1 -> [32])
+    rob: deque[int] = deque()
+    cycle = 0
+    slots = 0                  # fetch slots used this cycle
+    last_done = 0
+    mispredicts = imisses = dmisses = 0
+
+    for i in range(n):
+        cat = cats[i]
+        # -- fetch ------------------------------------------------------
+        if slots >= W:
+            cycle += 1
+            slots = 0
+        if not icache.access(pcs[i]):
+            imisses += 1
+            cycle += IMISS
+            slots = 0
+        # -- ROB space ---------------------------------------------------
+        while len(rob) >= ROB:
+            head = rob.popleft()
+            if head > cycle:
+                cycle = head
+                slots = 0
+        # -- dependences / execute ----------------------------------------
+        # In-order issue (UltraSPARC-class): an instruction whose
+        # operands are not ready stalls issue, so dense dependence
+        # chains (compiled code) pay; independent filler (interpreter
+        # handler bookkeeping) streams through.
+        start = cycle + 1
+        s1, s2 = src1s[i], src2s[i]
+        if s1 >= 0 and ready[s1] > start:
+            start = ready[s1]
+        if s2 >= 0 and ready[s2] > start:
+            start = ready[s2]
+        if start > cycle + 1:
+            cycle = start - 1
+            slots = 0
+        lat = latency[cat]
+        if cat == LOAD:
+            if not dcache.access(eas[i]):
+                dmisses += 1
+                lat += DMISS
+        elif cat == STORE:
+            if not dcache.access(eas[i]):
+                dmisses += 1   # write-allocate fill, but stores retire early
+        done = start + lat
+        dst = dsts[i]
+        if dst >= 0:
+            ready[dst] = done
+        rob.append(done)
+        if done > last_done:
+            last_done = done
+        slots += 1
+
+        # -- control transfers -------------------------------------------
+        if cat >= BRANCH:
+            pc = pcs[i]
+            taken = bool(flags[i] & FLAG_TAKEN)
+            target = targets[i]
+            mispredicted = False
+            if cat == BRANCH:
+                predicted = predictor.predict(pc)
+                if predicted != taken:
+                    mispredicted = True
+                elif taken and btb.lookup(pc) != target:
+                    mispredicted = True
+                predictor.update(pc, taken)
+                if taken:
+                    btb.update(pc, target)
+            elif cat in (JUMP, CALL):
+                if cat == CALL:
+                    ras.append(pc + 4)
+                    if len(ras) > 16:
+                        del ras[0]
+            elif cat == RET:
+                predicted_target = ras.pop() if ras else btb.lookup(pc)
+                mispredicted = predicted_target != target
+                btb.update(pc, target)
+            else:  # IJUMP / ICALL
+                mispredicted = btb.lookup(pc) != target
+                btb.update(pc, target)
+                if cat == ICALL:
+                    ras.append(pc + 4)
+                    if len(ras) > 16:
+                        del ras[0]
+            if mispredicted:
+                mispredicts += 1
+                # Fixed redirect penalty (shallow late-90s pipelines).
+                cycle += MISP
+                slots = 0
+            elif taken:
+                # Taken transfer ends the fetch group.
+                cycle += 1
+                slots = 0
+
+    total_cycles = max(cycle, last_done)
+    return PipelineResult(n, total_cycles, mispredicts, imisses, dmisses)
+
+
+def ipc_by_width(trace, widths=(1, 2, 4, 8), **kwargs) -> dict[int, PipelineResult]:
+    """Figure 9's sweep: IPC at several issue widths."""
+    return {
+        w: simulate_pipeline(trace, PipelineConfig(width=w, **kwargs))
+        for w in widths
+    }

@@ -1,0 +1,5 @@
+"""Experiments: one module per paper table/figure, plus ablations."""
+
+from .base import ExperimentResult, all_experiments, get_experiment
+
+__all__ = ["ExperimentResult", "all_experiments", "get_experiment"]

@@ -1,0 +1,113 @@
+"""Experiment protocol: each paper table/figure is one module.
+
+Every experiment module exposes ``run(scale=..., benchmarks=...) ->
+ExperimentResult`` and registers itself under its paper id (``fig1``,
+``table2``...).  Results carry the rows the paper reports plus an ASCII
+rendering, and record the paper's expected shape for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..analysis.report import format_table
+
+
+class ExperimentResult:
+    """Rows + rendering for one reproduced table/figure."""
+
+    def __init__(
+        self,
+        exp_id: str,
+        title: str,
+        headers: Sequence[str],
+        rows: Sequence[Sequence],
+        paper_claim: str = "",
+        observed: str = "",
+        extra: str = "",
+    ) -> None:
+        self.exp_id = exp_id
+        self.title = title
+        self.headers = list(headers)
+        self.rows = [list(r) for r in rows]
+        self.paper_claim = paper_claim
+        self.observed = observed
+        self.extra = extra
+
+    def render(self) -> str:
+        parts = [format_table(self.headers, self.rows,
+                              title=f"[{self.exp_id}] {self.title}")]
+        if self.extra:
+            parts.append(self.extra)
+        if self.paper_claim:
+            parts.append(f"paper claim : {self.paper_claim}")
+        if self.observed:
+            parts.append(f"observed    : {self.observed}")
+        return "\n\n".join(parts)
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.exp_id,
+            "title": self.title,
+            "headers": self.headers,
+            "rows": self.rows,
+            "paper_claim": self.paper_claim,
+            "observed": self.observed,
+        }
+
+    def row_map(self, key_col: int = 0) -> dict:
+        return {r[key_col]: r for r in self.rows}
+
+    def __repr__(self) -> str:
+        return f"ExperimentResult({self.exp_id}, {len(self.rows)} rows)"
+
+
+_REGISTRY: dict[str, Callable] = {}
+
+
+def experiment(exp_id: str):
+    """Register an experiment ``run`` function under a paper id."""
+
+    def deco(fn):
+        fn.exp_id = exp_id
+        _REGISTRY[exp_id] = fn
+        return fn
+
+    return deco
+
+
+def get_experiment(exp_id: str) -> Callable:
+    _ensure_imported()
+    try:
+        return _REGISTRY[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_experiments() -> dict[str, Callable]:
+    _ensure_imported()
+    return dict(_REGISTRY)
+
+
+def _ensure_imported() -> None:
+    from . import (  # noqa: F401
+        fig1,
+        fig2,
+        locality,
+        scale_study,
+        fig3,
+        fig4,
+        fig5,
+        fig6,
+        fig7,
+        fig8,
+        fig9,
+        fig10,
+        fig11,
+        table1,
+        table2,
+        table3,
+        ablations,
+    )

@@ -1,0 +1,82 @@
+"""Command-line entry point: ``python -m repro.experiments <ids...>``.
+
+Regenerates any of the paper's tables/figures (or all of them) and
+prints the rows the paper reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .base import all_experiments, get_experiment
+
+#: Order used by ``all``: cheap scalar experiments first.
+DEFAULT_ORDER = (
+    "fig1", "table1", "fig2", "fig11",
+    "table2", "table3", "fig3", "fig4", "fig5", "fig6",
+    "fig7", "fig8", "fig9", "fig10",
+    "locality", "scale_study",
+    "ablation_strategy", "ablation_install", "ablation_locks",
+    "ablation_inline", "ablation_indirect", "ablation_folding",
+    "ablation_victim",
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce tables/figures from 'Architectural Issues in "
+            "Java Runtime Systems' (HPCA 2000)."
+        ),
+    )
+    parser.add_argument(
+        "ids", nargs="*", default=["all"],
+        help="experiment ids (fig1..fig11, table1..table3, ablation_*) "
+             "or 'all' / 'list'",
+    )
+    parser.add_argument("--scale", default="s1", choices=("s0", "s1", "s10"),
+                        help="workload input scale (default s1)")
+    parser.add_argument("--benchmarks", default=None,
+                        help="comma-separated benchmark subset")
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="also dump all results as JSON")
+    args = parser.parse_args(argv)
+
+    available = all_experiments()
+    if args.ids == ["list"] or args.ids == []:
+        for exp_id in DEFAULT_ORDER:
+            print(exp_id)
+        return 0
+    ids = list(args.ids)
+    if ids == ["all"]:
+        ids = [e for e in DEFAULT_ORDER if e in available]
+
+    benchmarks = args.benchmarks.split(",") if args.benchmarks else None
+    status = 0
+    collected = []
+    for exp_id in ids:
+        try:
+            fn = get_experiment(exp_id)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            status = 2
+            continue
+        started = time.time()
+        result = fn(scale=args.scale, benchmarks=benchmarks)
+        collected.append(result)
+        print(result.render())
+        print(f"({exp_id} completed in {time.time() - started:.1f}s)")
+        print()
+    if args.json:
+        import json
+        with open(args.json, "w") as fh:
+            json.dump([r.to_dict() for r in collected], fh, indent=2)
+        print(f"wrote {len(collected)} results to {args.json}")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

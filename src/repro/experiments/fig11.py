@@ -1,0 +1,72 @@
+"""Figure 11 — synchronization: lock-case mix and thin-lock speedup.
+
+(i)  Classification of monitor acquisitions into the paper's four
+     cases: (a) unlocked, (b) shallow recursive, (c) deep recursive,
+     (d) contended.  Cases (a)+(b) dominate, with (a) above 80 %.
+(ii) Time spent in synchronization under the JDK 1.1.6 monitor cache
+     vs thin locks — the thin lock's ~2x speedup — plus the 1-bit
+     variant that fast-paths only case (a).
+"""
+
+from __future__ import annotations
+
+from ..analysis.runner import run_vm
+from ..sync.base import ALL_CASES
+from ..workloads.base import SPEC_BENCHMARKS
+from .base import ExperimentResult, experiment
+
+
+@experiment("fig11")
+def run(scale: str = "s1", benchmarks=None) -> ExperimentResult:
+    benchmarks = benchmarks or SPEC_BENCHMARKS
+    rows = []
+    speedups = []
+    case_a = []
+    for name in benchmarks:
+        per_mgr = {}
+        for mgr in ("monitor-cache", "thin-lock", "one-bit-lock"):
+            result = run_vm(name, scale=scale, mode="jit",
+                            lock_manager=mgr, profile=False)
+            per_mgr[mgr] = result
+        mc = per_mgr["monitor-cache"]
+        tl = per_mgr["thin-lock"]
+        ob = per_mgr["one-bit-lock"]
+        counts = mc.sync["case_counts"]
+        total_cases = sum(counts.values()) or 1
+        fracs = {c: counts[c] / total_cases for c in ALL_CASES}
+        speedup = mc.sync_cycles / max(1, tl.sync_cycles)
+        speedup_1bit = mc.sync_cycles / max(1, ob.sync_cycles)
+        sync_share = mc.sync_cycles / max(1, mc.cycles)
+        rows.append([
+            name,
+            round(100 * fracs["a"], 1),
+            round(100 * fracs["b"], 1),
+            round(100 * fracs["c"], 2),
+            round(100 * fracs["d"], 2),
+            mc.sync["acquire_ops"],
+            round(100 * sync_share, 1),
+            round(speedup, 2),
+            round(speedup_1bit, 2),
+        ])
+        speedups.append(speedup)
+        case_a.append(fracs["a"])
+    mean_speedup = sum(speedups) / len(speedups)
+    return ExperimentResult(
+        "fig11",
+        "Lock-case distribution and thin-lock speedup (JIT mode)",
+        ["benchmark", "case a %", "case b %", "case c %", "case d %",
+         "acquires", "sync share of time %",
+         "thin-lock speedup", "1-bit speedup"],
+        rows,
+        paper_claim=(
+            "Cases (a)/(b) dominate, (a) alone >80%; thin locks speed "
+            "synchronization up ~2x over the monitor cache; a 1-bit lock "
+            "still fast-paths >80% of acquisitions; sync is ~10-20% of "
+            "JIT-mode time (less for compute-bound codes)."
+        ),
+        observed=(
+            f"mean thin-lock speedup {mean_speedup:.2f}x; "
+            f"case (a) share {100 * min(case_a):.0f}%.."
+            f"{100 * max(case_a):.0f}%"
+        ),
+    )

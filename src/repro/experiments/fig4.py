@@ -1,0 +1,61 @@
+"""Figure 4 — average miss rates vs traditional C / C++ programs.
+
+Suite-average I/D miss rates for the two Java modes next to the
+statistical C and C++ reference traces.  The paper's reading: the
+interpreter beats everything on locality; JIT-mode instruction behaviour
+is close to C/C++; JIT-mode *data* behaviour is the worst of all; and
+behaviour depends on the execution mode far more than on Java's
+object-oriented nature.
+"""
+
+from __future__ import annotations
+
+from ..analysis.runner import get_trace
+from ..arch.caches import simulate_split_l1
+from ..workloads.base import SPEC_BENCHMARKS
+from ..workloads.native_reference import PROFILES, generate_reference_trace
+from .base import ExperimentResult, experiment
+
+
+@experiment("fig4")
+def run(scale: str = "s1", benchmarks=None) -> ExperimentResult:
+    benchmarks = benchmarks or SPEC_BENCHMARKS
+    rows = []
+    rates = {}
+    for mode in ("interp", "jit"):
+        i_rates, d_rates = [], []
+        for name in benchmarks:
+            trace = get_trace(name, scale, mode)
+            res = simulate_split_l1(trace)
+            i_rates.append(res.icache.miss_rate)
+            d_rates.append(res.dcache.miss_rate)
+        i_avg = sum(i_rates) / len(i_rates)
+        d_avg = sum(d_rates) / len(d_rates)
+        rates[f"java/{mode}"] = (i_avg, d_avg)
+        rows.append([f"java/{mode}", round(100 * i_avg, 3),
+                     round(100 * d_avg, 3)])
+    for pname, profile in PROFILES.items():
+        trace = generate_reference_trace(profile, n=400_000)
+        res = simulate_split_l1(trace)
+        rates[pname] = (res.icache.miss_rate, res.dcache.miss_rate)
+        rows.append([pname, round(100 * res.icache.miss_rate, 3),
+                     round(100 * res.dcache.miss_rate, 3)])
+    ordering_i = rates["java/interp"][0] < min(rates["C"][0], rates["C++"][0])
+    ordering_d = rates["java/jit"][1] >= max(
+        rates["java/interp"][1], 0
+    )
+    return ExperimentResult(
+        "fig4",
+        "Average L1 miss rates vs C/C++ (%), 64K caches",
+        ["workload", "I miss %", "D miss %"],
+        rows,
+        paper_claim=(
+            "Interpreter mode beats C, C++ and JIT mode on both caches; "
+            "JIT-mode I-cache behaviour is closest to C/C++; JIT-mode "
+            "D-cache miss rate is the highest of all workloads."
+        ),
+        observed=(
+            f"interp best I-cache: {ordering_i}; "
+            f"jit worst-or-equal D-cache among Java modes: {ordering_d}"
+        ),
+    )

@@ -1,0 +1,61 @@
+"""Figure 5 — cache behaviour inside the translate portion of the JIT.
+
+Attribution of misses to the translate routine vs the rest of the JIT
+run: translate contributes ~30 % of instruction misses (better locality
+*inside* translate thanks to generator-routine reuse), 40-80 % of data
+misses for many benchmarks, and ~60 % of translate-portion misses are
+writes (code generation/installation).
+"""
+
+from __future__ import annotations
+
+from ..analysis.runner import get_trace
+from ..arch.caches import simulate_split_l1
+from ..workloads.base import SPEC_BENCHMARKS
+from .base import ExperimentResult, experiment
+
+
+@experiment("fig5")
+def run(scale: str = "s1", benchmarks=None) -> ExperimentResult:
+    benchmarks = benchmarks or SPEC_BENCHMARKS
+    rows = []
+    d_shares = []
+    w_shares = []
+    for name in benchmarks:
+        trace = get_trace(name, scale, "jit")
+        res = simulate_split_l1(trace, attribute_translate=True)
+        ic, dc = res.icache, res.dcache
+        i_share = ic.misses[1] / max(1, ic.total_misses)
+        d_share = dc.misses[1] / max(1, dc.total_misses)
+        w_in_translate = dc.write_misses[1] / max(1, dc.misses[1])
+        i_rate_in = ic.group_miss_rate(1)
+        i_rate_out = ic.group_miss_rate(0)
+        rows.append([
+            name,
+            round(100 * i_share, 1),
+            round(100 * d_share, 1),
+            round(100 * w_in_translate, 1),
+            round(100 * i_rate_in, 3),
+            round(100 * i_rate_out, 3),
+        ])
+        d_shares.append(d_share)
+        w_shares.append(w_in_translate)
+    return ExperimentResult(
+        "fig5",
+        "Misses attributed to the translate portion (JIT mode)",
+        ["benchmark", "I-miss share %", "D-miss share %",
+         "writes among translate D-misses %",
+         "I miss % inside translate", "I miss % outside"],
+        rows,
+        paper_claim=(
+            "Translate contributes ~30% of I-misses and 40-80% of D-misses "
+            "for many benchmarks; ~60% of translate misses are writes from "
+            "code generation/installation; I-locality inside translate is "
+            "at least as good as outside (generator reuse)."
+        ),
+        observed=(
+            f"translate D-miss share {100 * min(d_shares):.0f}%.."
+            f"{100 * max(d_shares):.0f}%; writes within translate "
+            f"{100 * min(w_shares):.0f}%..{100 * max(w_shares):.0f}%"
+        ),
+    )

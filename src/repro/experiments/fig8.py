@@ -1,0 +1,64 @@
+"""Figure 8 — effect of line size (8 KB direct-mapped caches).
+
+Line sizes 16/32/64/128 bytes.  Instruction caches like longer lines;
+data caches diverge by mode: interpreted code (tiny methods, ~1.8-byte
+bytecodes read as data) favours 16-byte lines in most benchmarks, while
+JIT mode (object accesses of 16-42 bytes) favours 32-64 bytes.
+"""
+
+from __future__ import annotations
+
+from ..analysis.runner import get_trace
+from ..arch.caches import simulate_split_l1
+from ..workloads.base import SPEC_BENCHMARKS
+from .base import ExperimentResult, experiment
+
+LINE_SIZES = (16, 32, 64, 128)
+
+
+@experiment("fig8")
+def run(scale: str = "s1", benchmarks=None) -> ExperimentResult:
+    benchmarks = benchmarks or SPEC_BENCHMARKS
+    rows = []
+    interp_small_best = 0
+    jit_mid_best = 0
+    for name in benchmarks:
+        for mode in ("interp", "jit"):
+            trace = get_trace(name, scale, mode)
+            i_rates, d_rates = [], []
+            for block in LINE_SIZES:
+                res = simulate_split_l1(
+                    trace,
+                    icache={"size": 8 << 10, "assoc": 1, "block": block},
+                    dcache={"size": 8 << 10, "assoc": 1, "block": block},
+                )
+                i_rates.append(res.icache.miss_rate)
+                d_rates.append(res.dcache.miss_rate)
+            best = LINE_SIZES[d_rates.index(min(d_rates))]
+            if mode == "interp" and best <= 32:
+                interp_small_best += 1
+            if mode == "jit" and 32 <= best <= 64:
+                jit_mid_best += 1
+            rows.append(
+                [name, mode]
+                + [round(100 * r, 3) for r in i_rates]
+                + [round(100 * r, 3) for r in d_rates]
+                + [best]
+            )
+    return ExperimentResult(
+        "fig8",
+        "Line-size sweep, 8K direct-mapped (miss %)",
+        ["benchmark", "mode",
+         "I 16", "I 32", "I 64", "I 128",
+         "D 16", "D 32", "D 64", "D 128", "best D line"],
+        rows,
+        paper_claim=(
+            "I-caches improve with longer lines; interpreted-mode D-caches "
+            "prefer small (16B) lines in 6 of 7 benchmarks; JIT-mode "
+            "D-caches prefer 32-64B lines in the majority."
+        ),
+        observed=(
+            f"interp best-line <=32B for {interp_small_best}/{len(benchmarks)}; "
+            f"jit best-line 32-64B for {jit_mid_best}/{len(benchmarks)}"
+        ),
+    )

@@ -1,0 +1,61 @@
+"""Figure 9 — instruction-level parallelism: IPC at several issue widths.
+
+The paper's findings: interpreter-mode IPC is *higher* than JIT-mode IPC
+(better caches + streamable unoptimized code), the JIT is "not
+significantly worse", and the interpreter's gains shrink as width grows
+because the dispatch switch's unpredictable target gates fetch.
+"""
+
+from __future__ import annotations
+
+from ..analysis.runner import get_trace
+from ..arch.pipeline import ipc_by_width
+from ..workloads.base import SPEC_BENCHMARKS
+from .base import ExperimentResult, experiment
+
+WIDTHS = (1, 2, 4, 8)
+
+
+@experiment("fig9")
+def run(scale: str = "s1", benchmarks=None) -> ExperimentResult:
+    benchmarks = benchmarks or SPEC_BENCHMARKS
+    rows = []
+    interp_higher = 0
+    comparisons = 0
+    flattening = 0
+    for name in benchmarks:
+        per_mode = {}
+        for mode in ("interp", "jit"):
+            trace = get_trace(name, scale, mode)
+            results = ipc_by_width(trace, widths=WIDTHS)
+            ipcs = [results[w].ipc for w in WIDTHS]
+            per_mode[mode] = ipcs
+            rows.append([name, mode] + [round(v, 2) for v in ipcs]
+                        + [results[WIDTHS[-1]].mispredicts])
+        comparisons += len(WIDTHS)
+        interp_higher += sum(
+            1 for a, b in zip(per_mode["interp"], per_mode["jit"]) if a >= b
+        )
+        # Interpreter scaling: gain from 4-wide to 8-wide smaller than
+        # the gain from 1-wide to 2-wide.
+        gain_12 = per_mode["interp"][1] - per_mode["interp"][0]
+        gain_48 = per_mode["interp"][3] - per_mode["interp"][2]
+        if gain_48 < gain_12:
+            flattening += 1
+    return ExperimentResult(
+        "fig9",
+        "IPC at issue widths 1/2/4/8",
+        ["benchmark", "mode", "ipc@1", "ipc@2", "ipc@4", "ipc@8",
+         "mispredicts@8"],
+        rows,
+        paper_claim=(
+            "Interpreter IPC exceeds JIT IPC (JIT not significantly worse); "
+            "interpreter improvement diminishes at wide issue because of "
+            "poor switch-target prediction."
+        ),
+        observed=(
+            f"interp IPC >= jit IPC in {interp_higher}/{comparisons} "
+            f"(benchmark, width) points; interp scaling flattens for "
+            f"{flattening}/{len(benchmarks)} benchmarks"
+        ),
+    )

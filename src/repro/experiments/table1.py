@@ -1,0 +1,77 @@
+"""Table 1 — memory footprint of the interpreter vs the JIT.
+
+The paper reports the JIT configuration needing 10-33 % more memory,
+most pronounced for applications with small dynamic memory use (db).
+
+Our miniature inputs shrink the *heaps* far more than the *code*, which
+exaggerates the relative code-cache overhead at s1; the ordering
+reproduces at every scale, and the magnitudes move toward the paper's
+band as inputs grow, so the table also reports the s10 overhead when
+invoked at s1 or larger.
+"""
+
+from __future__ import annotations
+
+from ..analysis.runner import run_vm
+from ..workloads.base import SPEC_BENCHMARKS
+from .base import ExperimentResult, experiment
+
+
+def _overhead(name: str, scale: str) -> tuple[float, float, dict]:
+    interp = run_vm(name, scale=scale, mode="interp", profile=False)
+    jit = run_vm(name, scale=scale, mode="jit", profile=False)
+    interp_kb = interp.footprint["interpreter_total"] / 1024
+    jit_kb = jit.footprint["jit_total"] / 1024
+    return interp_kb, jit_kb, jit.footprint
+
+
+@experiment("table1")
+def run(scale: str = "s1", benchmarks=None) -> ExperimentResult:
+    benchmarks = benchmarks or SPEC_BENCHMARKS
+    include_s10 = scale != "s0"
+    rows = []
+    overheads = []
+    s10_overheads = []
+    for name in benchmarks:
+        interp_kb, jit_kb, fp = _overhead(name, scale)
+        overhead = 100 * (jit_kb / interp_kb - 1)
+        overheads.append(overhead)
+        row = [
+            name,
+            round(interp_kb, 1),
+            round(jit_kb, 1),
+            round(overhead, 1),
+            round(fp["code_cache"] / 1024, 1),
+            round(fp["heap_peak"] / 1024, 1),
+        ]
+        if include_s10:
+            i10, j10, _fp10 = _overhead(name, "s10")
+            s10 = 100 * (j10 / i10 - 1)
+            s10_overheads.append(s10)
+            row.append(round(s10, 1))
+        rows.append(row)
+    headers = ["benchmark", "interp KB", "jit KB", "jit overhead %",
+               "code cache KB", "heap peak KB"]
+    if include_s10:
+        headers.append("overhead % @s10")
+    worst = rows[overheads.index(max(overheads))][0]
+    observed = (
+        f"overhead range {min(overheads):.0f}%..{max(overheads):.0f}%; "
+        f"worst: {worst}"
+    )
+    if s10_overheads:
+        observed += (
+            f"; at s10 the range tightens to {min(s10_overheads):.0f}%.."
+            f"{max(s10_overheads):.0f}% (inputs amortize the code cache)"
+        )
+    return ExperimentResult(
+        "table1",
+        "Memory footprint: interpreter vs JIT (KB)",
+        headers,
+        rows,
+        paper_claim=(
+            "JIT memory is 10-33% higher than the interpreter's, most "
+            "pronounced for small-heap applications such as db."
+        ),
+        observed=observed,
+    )

@@ -1,0 +1,53 @@
+"""Table 2 — branch misprediction rates for four predictors.
+
+2-bit / 1-level BHT / Gshare / GAp, per benchmark and execution mode.
+The paper's headline: interpreter-mode prediction is significantly
+worse (Gshare accuracy only 65-87 %) than JIT mode (80-92 %), due to
+the dispatch switch's indirect jumps.
+"""
+
+from __future__ import annotations
+
+from ..analysis.runner import get_trace
+from ..arch.branch import PREDICTORS, extract_transfers, run_predictor
+from ..workloads.base import SPEC_BENCHMARKS
+from .base import ExperimentResult, experiment
+
+PREDICTOR_ORDER = ("2bit", "bht", "gshare", "gap")
+
+
+@experiment("table2")
+def run(scale: str = "s1", benchmarks=None) -> ExperimentResult:
+    benchmarks = benchmarks or SPEC_BENCHMARKS
+    rows = []
+    gshare_rates = {"interp": [], "jit": []}
+    for name in benchmarks:
+        for mode in ("interp", "jit"):
+            trace = get_trace(name, scale, mode)
+            events = extract_transfers(trace)
+            row = [name, mode]
+            for pname in PREDICTOR_ORDER:
+                res = run_predictor(PREDICTORS[pname](), *events)
+                row.append(round(100 * res.misprediction_rate, 1))
+                if pname == "gshare":
+                    gshare_rates[mode].append(res.misprediction_rate)
+            row.append(round(100 * res.indirect_rate, 1))
+            rows.append(row)
+    avg_i = 100 * sum(gshare_rates["interp"]) / len(gshare_rates["interp"])
+    avg_j = 100 * sum(gshare_rates["jit"]) / len(gshare_rates["jit"])
+    return ExperimentResult(
+        "table2",
+        "Branch misprediction rates (% of control transfers)",
+        ["benchmark", "mode", "2bit", "bht", "gshare", "gap",
+         "indirect-target miss %"],
+        rows,
+        paper_claim=(
+            "Gshare/GAp are the best predictors; interpreter-mode "
+            "misprediction (13-35% for Gshare) is far worse than JIT mode "
+            "(8-20%), driven by indirect dispatch jumps."
+        ),
+        observed=(
+            f"mean gshare misprediction: interp {avg_i:.1f}% vs "
+            f"jit {avg_j:.1f}%"
+        ),
+    )

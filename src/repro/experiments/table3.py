@@ -1,0 +1,56 @@
+"""Table 3 — L1 cache references and misses per benchmark and mode.
+
+64 KB caches, 32-byte lines, 2-way I / 4-way D — the paper's exact
+geometry.  Key shapes: interpreter I-cache hit rates above 99.9 %;
+JIT-mode data references only a fraction (10-80 %) of the interpreter's;
+yet the JIT's *absolute* miss counts are higher in both caches.
+"""
+
+from __future__ import annotations
+
+from ..analysis.runner import get_trace
+from ..arch.caches import simulate_split_l1
+from ..workloads.base import SPEC_BENCHMARKS
+from .base import ExperimentResult, experiment
+
+
+@experiment("table3")
+def run(scale: str = "s1", benchmarks=None) -> ExperimentResult:
+    benchmarks = benchmarks or SPEC_BENCHMARKS
+    rows = []
+    shape_hits = 0
+    shape_total = 0
+    for name in benchmarks:
+        per_mode = {}
+        for mode in ("interp", "jit"):
+            trace = get_trace(name, scale, mode)
+            res = simulate_split_l1(trace)
+            per_mode[mode] = res
+            rows.append([
+                name, mode,
+                res.icache.total_refs, res.icache.total_misses,
+                round(100 * res.icache.miss_rate, 3),
+                res.dcache.total_refs, res.dcache.total_misses,
+                round(100 * res.dcache.miss_rate, 3),
+            ])
+        interp, jit = per_mode["interp"], per_mode["jit"]
+        shape_total += 1
+        if (jit.icache.total_misses >= interp.icache.total_misses
+                and jit.dcache.total_refs < interp.dcache.total_refs):
+            shape_hits += 1
+    return ExperimentResult(
+        "table3",
+        "Cache performance, 64K/32B lines (I: 2-way, D: 4-way)",
+        ["benchmark", "mode", "I refs", "I misses", "I miss %",
+         "D refs", "D misses", "D miss %"],
+        rows,
+        paper_claim=(
+            "Interpreter I-cache hit rates >99.9%; JIT D-references are "
+            "10-80% of the interpreter's; absolute JIT misses exceed "
+            "interpreter misses despite fewer references."
+        ),
+        observed=(
+            f"{shape_hits}/{shape_total} benchmarks show the "
+            "more-misses-despite-fewer-references JIT shape"
+        ),
+    )

@@ -1,0 +1,55 @@
+"""Bytecode instruction set, class/method model, builders and verifier."""
+
+from .builder import ClassBuilder, Label, MethodBuilder, ProgramBuilder
+from .instruction import Instr
+from .method import Field, JClass, Method, Program
+from .opcodes import (
+    ARRAY_ELEM_BYTES,
+    BRANCH_OPS,
+    INVOKE_OPS,
+    N_OPCODES,
+    OPINFO,
+    TERMINATOR_OPS,
+    ArrayType,
+    Op,
+)
+from .pool import (
+    ClassRef,
+    ConstantPool,
+    FieldRef,
+    FloatConst,
+    MethodRef,
+    PoolEntry,
+    StringConst,
+)
+from .verifier import VerifyError, verify_method, verify_program
+
+__all__ = [
+    "ARRAY_ELEM_BYTES",
+    "ArrayType",
+    "BRANCH_OPS",
+    "ClassBuilder",
+    "ClassRef",
+    "ConstantPool",
+    "Field",
+    "FieldRef",
+    "FloatConst",
+    "INVOKE_OPS",
+    "Instr",
+    "JClass",
+    "Label",
+    "Method",
+    "MethodBuilder",
+    "MethodRef",
+    "N_OPCODES",
+    "OPINFO",
+    "Op",
+    "PoolEntry",
+    "Program",
+    "ProgramBuilder",
+    "StringConst",
+    "TERMINATOR_OPS",
+    "VerifyError",
+    "verify_method",
+    "verify_program",
+]

@@ -1,0 +1,235 @@
+"""A textual assembler (and method lister) for the bytecode ISA.
+
+Grammar, one directive or instruction per line (``;`` starts a comment):
+
+.. code-block:: text
+
+    .class spec/Counter                  ; optional: extends <super>
+    .field value int                     ; int | float | ref [static]
+    .method tick static returns          ; flags: static/returns/synchronized
+        iconst 1
+        istore 1
+    loop:                                ; labels end with ':'
+        iload 1
+        ifgt done
+        iinc 1 1
+        goto loop
+    done:
+        iload 1
+        ireturn
+    .end
+
+Operand forms: immediates are integers/floats; field/method references
+are ``Class name [argc] [ret|void]``; string constants use
+``ldc_str "text"``.  Every mnemonic matches its
+:class:`~repro.isa.builder.MethodBuilder` method.
+"""
+
+from __future__ import annotations
+
+import shlex
+
+from .builder import ClassBuilder, Label, MethodBuilder, ProgramBuilder
+from .method import Method, Program
+from .opcodes import ArrayType
+
+
+class AsmError(Exception):
+    """Syntax or structure error in assembly text."""
+
+    def __init__(self, line_no: int, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+#: Mnemonics taking one integer operand (local index / immediate).
+_INT_OPS = {
+    "iconst", "iload", "fload", "aload", "istore", "fstore", "astore",
+}
+#: Mnemonics taking (class, field).
+_FIELD_OPS = {"getfield", "putfield", "getstatic", "putstatic"}
+#: Mnemonics taking (class, name, argc, ret|void).
+_INVOKE_OPS = {"invokevirtual", "invokespecial", "invokestatic"}
+#: Mnemonics taking a class name.
+_CLASS_OPS = {"new", "anewarray", "checkcast", "instanceof"}
+#: Mnemonics taking a label.
+_BRANCH_OPS = {
+    "ifeq", "ifne", "iflt", "ifge", "ifgt", "ifle", "if_icmpeq",
+    "if_icmpne", "if_icmplt", "if_icmpge", "if_icmpgt", "if_icmple",
+    "if_acmpeq", "if_acmpne", "ifnull", "ifnonnull", "goto",
+}
+#: Zero-operand mnemonics (anything callable on MethodBuilder).
+_PLAIN_OPS = {
+    "nop", "aconst_null", "pop", "dup", "dup_x1", "swap",
+    "iadd", "isub", "imul", "idiv", "irem", "ineg", "ishl", "ishr",
+    "iushr", "iand", "ior", "ixor", "fadd", "fsub", "fmul", "fdiv",
+    "fneg", "i2f", "f2i", "i2b", "i2c", "i2s", "fcmpl", "fcmpg",
+    "ireturn", "freturn", "areturn", "arraylength", "iaload", "iastore",
+    "faload", "fastore", "aaload", "aastore", "baload", "bastore",
+    "caload", "castore", "monitorenter", "monitorexit",
+}
+
+_ARRAY_TYPES = {t.name.lower(): t for t in ArrayType}
+
+
+class _MethodState:
+    def __init__(self, builder: MethodBuilder) -> None:
+        self.builder = builder
+        self.labels: dict[str, Label] = {}
+
+    def label(self, name: str) -> Label:
+        if name not in self.labels:
+            self.labels[name] = self.builder.new_label(name)
+        return self.labels[name]
+
+
+def assemble(text: str, program_name: str = "asm",
+             main_class: str | None = None) -> Program:
+    """Assemble source text into a verified :class:`Program`."""
+    pb: ProgramBuilder | None = None
+    current_class: ClassBuilder | None = None
+    current: _MethodState | None = None
+    classes: list[str] = []
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            tokens = shlex.split(line)
+        except ValueError as exc:
+            raise AsmError(line_no, f"bad quoting: {exc}") from None
+
+        head = tokens[0]
+        if head == ".class":
+            if current is not None:
+                raise AsmError(line_no, ".class inside a method")
+            if len(tokens) not in (2, 4):
+                raise AsmError(line_no, ".class NAME [extends SUPER]")
+            super_name = tokens[3] if len(tokens) == 4 else "java/lang/Object"
+            if pb is None:
+                pb = ProgramBuilder(program_name,
+                                    main_class=main_class or tokens[1])
+            current_class = pb.cls(tokens[1], super_name=super_name)
+            classes.append(tokens[1])
+        elif head == ".field":
+            if current_class is None:
+                raise AsmError(line_no, ".field outside a class")
+            if len(tokens) < 3:
+                raise AsmError(line_no, ".field NAME TYPE [static]")
+            if "static" in tokens[3:]:
+                current_class.static_field(tokens[1], tokens[2])
+            else:
+                current_class.field(tokens[1], tokens[2])
+        elif head == ".method":
+            if current_class is None:
+                raise AsmError(line_no, ".method outside a class")
+            if current is not None:
+                raise AsmError(line_no, "missing .end before .method")
+            name = tokens[1]
+            flags = set(tokens[2:])
+            argc = 0
+            for flag in list(flags):
+                if flag.startswith("argc="):
+                    argc = int(flag.split("=", 1)[1])
+                    flags.discard(flag)
+            unknown = flags - {"static", "returns", "synchronized"}
+            if unknown:
+                raise AsmError(line_no, f"unknown flags {sorted(unknown)}")
+            mb = current_class.method(
+                name, argc=argc,
+                returns="returns" in flags,
+                static="static" in flags,
+                synchronized="synchronized" in flags,
+            )
+            current = _MethodState(mb)
+        elif head == ".end":
+            if current is None:
+                raise AsmError(line_no, ".end without .method")
+            current = None
+        elif head.endswith(":") and len(tokens) == 1:
+            if current is None:
+                raise AsmError(line_no, "label outside a method")
+            current.builder.bind(current.label(head[:-1]))
+        else:
+            if current is None:
+                raise AsmError(line_no, f"instruction outside a method: {head}")
+            _assemble_instruction(current, tokens, line_no)
+
+    if current is not None:
+        raise AsmError(line_no, "unterminated .method")
+    if pb is None:
+        raise AsmError(0, "no .class directive found")
+    try:
+        return pb.build()
+    except Exception as exc:
+        raise AsmError(0, f"verification failed: {exc}") from exc
+
+
+def _assemble_instruction(state: _MethodState, tokens, line_no) -> None:
+    b = state.builder
+    op = tokens[0]
+    args = tokens[1:]
+    try:
+        if op in _PLAIN_OPS:
+            getattr(b, "return_" if op == "return" else op)()
+        elif op == "return":
+            b.return_()
+        elif op in _INT_OPS:
+            b_method = getattr(b, op)
+            b_method(int(args[0], 0))
+        elif op == "fconst":
+            b.fconst(float(args[0]))
+        elif op == "iinc":
+            b.iinc(int(args[0], 0), int(args[1], 0) if len(args) > 1 else 1)
+        elif op == "ldc_str":
+            b.ldc_str(args[0])
+        elif op == "ldc_float":
+            b.ldc_float(float(args[0]))
+        elif op == "newarray":
+            b.newarray(_ARRAY_TYPES[args[0].lower()])
+        elif op in _CLASS_OPS:
+            getattr(b, op)(args[0])
+        elif op in _FIELD_OPS:
+            getattr(b, op)(args[0], args[1])
+        elif op in _INVOKE_OPS:
+            argc = int(args[2]) if len(args) > 2 else 0
+            returns = len(args) > 3 and args[3] in ("ret", "returns")
+            getattr(b, op)(args[0], args[1], argc, returns)
+        elif op in _BRANCH_OPS:
+            getattr(b, op)(state.label(args[0]))
+        elif op == "tableswitch":
+            # tableswitch LOW L1 L2 ... default LD
+            low = int(args[0], 0)
+            if "default" not in args:
+                raise AsmError(line_no, "tableswitch needs 'default LABEL'")
+            split = args.index("default")
+            targets = [state.label(t) for t in args[1:split]]
+            b.tableswitch(low, targets, state.label(args[split + 1]))
+        elif op == "lookupswitch":
+            # lookupswitch K1:L1 K2:L2 ... default LD
+            if "default" not in args:
+                raise AsmError(line_no, "lookupswitch needs 'default LABEL'")
+            split = args.index("default")
+            table = {}
+            for pair in args[:split]:
+                key, _, label = pair.partition(":")
+                table[int(key, 0)] = state.label(label)
+            b.lookupswitch(table, state.label(args[split + 1]))
+        else:
+            raise AsmError(line_no, f"unknown mnemonic {op!r}")
+    except AsmError:
+        raise
+    except (IndexError, ValueError, KeyError) as exc:
+        raise AsmError(line_no, f"bad operands for {op!r}: {exc}") from None
+
+
+def list_method(method: Method) -> str:
+    """A numbered bytecode listing of a built method (the inverse view)."""
+    lines = [f"; {method.qualified_name} "
+             f"(argc={method.argc}, max_locals={method.max_locals})"]
+    for index, instr in enumerate(method.code):
+        depth = (method.depth_in[index]
+                 if index < len(method.depth_in) else "?")
+        lines.append(f"{index:>5d}  [{depth:>2}]  {instr!r}")
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Bytecode instruction representation."""
+
+from __future__ import annotations
+
+from .opcodes import Op, OPINFO
+
+
+class Instr:
+    """One bytecode instruction.
+
+    ``a`` and ``b`` are the (decoded) immediate operands; branch targets
+    are *instruction indices* within the owning method's code list.
+    ``extra`` carries switch tables: for ``TABLESWITCH`` a
+    ``(low, [targets], default)`` tuple, for ``LOOKUPSWITCH`` a
+    ``({match: target}, default)`` tuple.
+    """
+
+    __slots__ = ("op", "a", "b", "extra")
+
+    def __init__(self, op: Op, a=0, b=0, extra=None) -> None:
+        self.op = op
+        self.a = a
+        self.b = b
+        self.extra = extra
+
+    @property
+    def info(self):
+        return OPINFO[self.op]
+
+    def encoded_length(self) -> int:
+        """Size of this instruction in the simulated bytecode stream."""
+        base = OPINFO[self.op].length
+        if self.op is Op.TABLESWITCH:
+            low, targets, _default = self.extra
+            return base + 4 * len(targets)
+        if self.op is Op.LOOKUPSWITCH:
+            table, _default = self.extra
+            return base + 8 * len(table)
+        return base
+
+    def branch_targets(self) -> list[int]:
+        """All possible control-transfer destinations (instruction indices)."""
+        kind = OPINFO[self.op].kind
+        if kind in ("branch", "goto"):
+            return [self.a]
+        if self.op is Op.TABLESWITCH:
+            low, targets, default = self.extra
+            return list(targets) + [default]
+        if self.op is Op.LOOKUPSWITCH:
+            table, default = self.extra
+            return list(table.values()) + [default]
+        return []
+
+    #: kinds whose ``a`` operand is meaningful even when it is zero
+    _ALWAYS_SHOW_A = ("const", "load_local", "store_local", "iinc",
+                      "branch", "goto", "field", "invoke", "new",
+                      "typecheck")
+
+    def __repr__(self) -> str:
+        parts = [self.info.mnemonic]
+        if self.a or self.info.kind in self._ALWAYS_SHOW_A:
+            parts.append(str(self.a))
+        if self.b:
+            parts.append(str(self.b))
+        return " ".join(parts)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Instr)
+            and self.op == other.op
+            and self.a == other.a
+            and self.b == other.b
+            and self.extra == other.extra
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.op, self.a, self.b))

@@ -1,0 +1,200 @@
+"""Method, field, class and program structures.
+
+These model the *loaded* form of a class file: bytecode plus symbolic
+constant pool.  Runtime-only state (vtable layout, bytecode addresses,
+compiled code) is attached by the class loader and the JIT at run time
+and kept in clearly named attributes initialized here to ``None``/empty.
+
+Simplification relative to real class files: methods are keyed by name
+only (no overload resolution by descriptor); the workloads are written
+accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .instruction import Instr
+from .pool import ConstantPool
+
+
+class Field:
+    """An instance or static field declaration."""
+
+    __slots__ = ("name", "ftype", "is_static")
+
+    #: Field byte widths (drives object layout and access addresses).
+    TYPE_BYTES = {"int": 4, "float": 4, "ref": 4, "byte": 1, "char": 2}
+
+    def __init__(self, name: str, ftype: str = "int", is_static: bool = False) -> None:
+        if ftype not in self.TYPE_BYTES:
+            raise ValueError(f"unknown field type {ftype!r}")
+        self.name = name
+        self.ftype = ftype
+        self.is_static = is_static
+
+    @property
+    def byte_size(self) -> int:
+        return self.TYPE_BYTES[self.ftype]
+
+    def __repr__(self) -> str:
+        static = "static " if self.is_static else ""
+        return f"Field({static}{self.ftype} {self.name})"
+
+
+class Method:
+    """A bytecode (or native) method."""
+
+    def __init__(
+        self,
+        name: str,
+        argc: int = 0,
+        has_result: bool = False,
+        is_static: bool = False,
+        is_synchronized: bool = False,
+        max_locals: int | None = None,
+        code: list[Instr] | None = None,
+        native_impl: Optional[Callable] = None,
+        native_cost: int = 20,
+    ) -> None:
+        self.name = name
+        self.argc = argc
+        self.has_result = has_result
+        self.is_static = is_static
+        self.is_synchronized = is_synchronized
+        self.code: list[Instr] = code or []
+        self.native_impl = native_impl
+        self.native_cost = native_cost  # native instrs charged per call
+        n_params = argc + (0 if is_static else 1)
+        self.max_locals = max_locals if max_locals is not None else n_params
+
+        # Filled in when the owning class is registered / loaded:
+        self.jclass: "JClass | None" = None
+        self.pool: ConstantPool | None = None
+        self.method_id: int = -1
+        self.bc_addr: int = 0              # base address in the bytecode region
+        self.bc_offsets: list[int] = []    # per-instruction byte offset
+        self.bc_length: int = 0
+        self.depth_in: list[int] = []      # verifier: stack depth at entry
+        self.max_stack: int = 8            # verifier: max operand-stack depth
+
+    @property
+    def is_native(self) -> bool:
+        return self.native_impl is not None
+
+    @property
+    def n_param_slots(self) -> int:
+        """Locals consumed by arguments (receiver included if virtual)."""
+        return self.argc + (0 if self.is_static else 1)
+
+    @property
+    def qualified_name(self) -> str:
+        cls = self.jclass.name if self.jclass else "?"
+        return f"{cls}.{self.name}"
+
+    def compute_layout(self) -> None:
+        """Assign per-instruction byte offsets within the method."""
+        self.bc_offsets = []
+        off = 0
+        for instr in self.code:
+            self.bc_offsets.append(off)
+            off += instr.encoded_length()
+        self.bc_length = off
+
+    def __repr__(self) -> str:
+        return f"Method({self.qualified_name}/{self.argc}, {len(self.code)} instrs)"
+
+
+class JClass:
+    """A class declaration (the loaded image of one class file)."""
+
+    def __init__(self, name: str, super_name: str | None = "java/lang/Object") -> None:
+        self.name = name
+        self.super_name = super_name if name != "java/lang/Object" else None
+        self.fields: list[Field] = []
+        self.methods: dict[str, Method] = {}
+        self.pool = ConstantPool()
+
+        # Runtime state, attached by the class loader:
+        self.super_class: "JClass | None" = None
+        self.field_offsets: dict[str, int] = {}
+        self.field_types: dict[str, str] = {}
+        self.instance_bytes: int = 0
+        self.static_addr: dict[str, int] = {}
+        self.statics: dict[str, object] = {}
+        self.loaded: bool = False
+        self.initialized: bool = False
+        self.class_id: int = -1
+
+    def add_field(self, field: Field) -> None:
+        self.fields.append(field)
+
+    def add_method(self, method: Method) -> None:
+        if method.name in self.methods:
+            raise ValueError(
+                f"duplicate method {method.name!r} in class {self.name!r}"
+            )
+        method.jclass = self
+        method.pool = self.pool
+        self.methods[method.name] = method
+
+    def find_method(self, name: str) -> Method | None:
+        """Resolve a method by walking up the superclass chain."""
+        cls: JClass | None = self
+        while cls is not None:
+            m = cls.methods.get(name)
+            if m is not None:
+                return m
+            cls = cls.super_class
+        return None
+
+    def is_subclass_of(self, other: "JClass") -> bool:
+        cls: JClass | None = self
+        while cls is not None:
+            if cls is other:
+                return True
+            cls = cls.super_class
+        return False
+
+    def __repr__(self) -> str:
+        return f"JClass({self.name}, {len(self.methods)} methods)"
+
+
+class Program:
+    """A closed set of classes plus an entry point."""
+
+    def __init__(self, name: str, main_class: str = "Main") -> None:
+        self.name = name
+        self.main_class = main_class
+        self.classes: dict[str, JClass] = {}
+
+    def add_class(self, jclass: JClass) -> JClass:
+        if jclass.name in self.classes:
+            raise ValueError(f"duplicate class {jclass.name!r}")
+        self.classes[jclass.name] = jclass
+        return jclass
+
+    def get_class(self, name: str) -> JClass:
+        try:
+            return self.classes[name]
+        except KeyError:
+            raise KeyError(f"class {name!r} not in program {self.name!r}") from None
+
+    def merge(self, other: "Program") -> None:
+        """Add all of ``other``'s classes (used to link the library)."""
+        for cls in other.classes.values():
+            self.add_class(cls)
+
+    @property
+    def entry_method(self) -> Method:
+        main = self.get_class(self.main_class).methods.get("main")
+        if main is None:
+            raise KeyError(f"{self.main_class} has no 'main' method")
+        return main
+
+    def all_methods(self):
+        for cls in self.classes.values():
+            yield from cls.methods.values()
+
+    def __repr__(self) -> str:
+        return f"Program({self.name}, {len(self.classes)} classes)"

@@ -1,0 +1,277 @@
+"""The bytecode instruction set of the simulated JVM.
+
+A ~80-opcode stack ISA covering the subset of the real JVM instruction
+set that the SpecJVM98-style workloads need: integer and float
+arithmetic, locals and operand-stack manipulation, object/array/field
+access, virtual/static/special invocation, monitors, and the full
+conditional-branch family.  ``long``/``double`` and exceptions are
+omitted (see DESIGN.md); the real interpreter's ~220-way dispatch switch
+becomes an ~80-way switch here, which rescales the dispatch-table size
+but preserves the dispatch *mechanism* (indirect jump per bytecode) that
+the architectural results hinge on.
+
+Opcode numbering is internal — bytecode "addresses" used by the memory
+studies come from each instruction's encoded byte length, which follows
+the real JVM encoding sizes.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum, auto
+
+
+class Op(IntEnum):
+    """Bytecode opcodes."""
+
+    NOP = 0
+    # -- constants --
+    ICONST = auto()       # push int immediate (iconst_*/bipush/sipush folded)
+    FCONST = auto()       # push float immediate (fconst_*)
+    ACONST_NULL = auto()
+    LDC = auto()          # push constant-pool entry (string / float)
+    # -- locals --
+    ILOAD = auto()
+    FLOAD = auto()
+    ALOAD = auto()
+    ISTORE = auto()
+    FSTORE = auto()
+    ASTORE = auto()
+    IINC = auto()
+    # -- operand stack --
+    POP = auto()
+    DUP = auto()
+    DUP_X1 = auto()
+    SWAP = auto()
+    # -- integer arithmetic --
+    IADD = auto()
+    ISUB = auto()
+    IMUL = auto()
+    IDIV = auto()
+    IREM = auto()
+    INEG = auto()
+    ISHL = auto()
+    ISHR = auto()
+    IUSHR = auto()
+    IAND = auto()
+    IOR = auto()
+    IXOR = auto()
+    # -- float arithmetic --
+    FADD = auto()
+    FSUB = auto()
+    FMUL = auto()
+    FDIV = auto()
+    FNEG = auto()
+    # -- conversions --
+    I2F = auto()
+    F2I = auto()
+    I2B = auto()
+    I2C = auto()
+    I2S = auto()
+    # -- comparisons --
+    FCMPL = auto()
+    FCMPG = auto()
+    # -- single-operand int branches --
+    IFEQ = auto()
+    IFNE = auto()
+    IFLT = auto()
+    IFGE = auto()
+    IFGT = auto()
+    IFLE = auto()
+    # -- two-operand int branches --
+    IF_ICMPEQ = auto()
+    IF_ICMPNE = auto()
+    IF_ICMPLT = auto()
+    IF_ICMPGE = auto()
+    IF_ICMPGT = auto()
+    IF_ICMPLE = auto()
+    # -- reference branches --
+    IF_ACMPEQ = auto()
+    IF_ACMPNE = auto()
+    IFNULL = auto()
+    IFNONNULL = auto()
+    # -- unconditional control --
+    GOTO = auto()
+    TABLESWITCH = auto()
+    LOOKUPSWITCH = auto()
+    # -- returns --
+    IRETURN = auto()
+    FRETURN = auto()
+    ARETURN = auto()
+    RETURN = auto()
+    # -- fields --
+    GETSTATIC = auto()
+    PUTSTATIC = auto()
+    GETFIELD = auto()
+    PUTFIELD = auto()
+    # -- invocation --
+    INVOKEVIRTUAL = auto()
+    INVOKESPECIAL = auto()
+    INVOKESTATIC = auto()
+    # -- allocation --
+    NEW = auto()
+    NEWARRAY = auto()      # a = element type code (see ArrayType)
+    ANEWARRAY = auto()
+    # -- arrays --
+    ARRAYLENGTH = auto()
+    IALOAD = auto()
+    IASTORE = auto()
+    FALOAD = auto()
+    FASTORE = auto()
+    AALOAD = auto()
+    AASTORE = auto()
+    BALOAD = auto()
+    BASTORE = auto()
+    CALOAD = auto()
+    CASTORE = auto()
+    # -- type checks --
+    CHECKCAST = auto()
+    INSTANCEOF = auto()
+    # -- monitors --
+    MONITORENTER = auto()
+    MONITOREXIT = auto()
+
+
+N_OPCODES = len(Op)
+
+
+class ArrayType(IntEnum):
+    """Element type codes for :data:`Op.NEWARRAY` (JVM atype values)."""
+
+    BOOLEAN = 4
+    CHAR = 5
+    FLOAT = 6
+    BYTE = 8
+    SHORT = 9
+    INT = 10
+
+
+#: Element size in bytes per :class:`ArrayType` (drives array address maths).
+ARRAY_ELEM_BYTES = {
+    ArrayType.BOOLEAN: 1,
+    ArrayType.CHAR: 2,
+    ArrayType.FLOAT: 4,
+    ArrayType.BYTE: 1,
+    ArrayType.SHORT: 2,
+    ArrayType.INT: 4,
+}
+
+
+class OpInfo:
+    """Static metadata for one opcode."""
+
+    __slots__ = ("mnemonic", "length", "pops", "pushes", "kind")
+
+    def __init__(self, mnemonic: str, length: int, pops, pushes, kind: str) -> None:
+        self.mnemonic = mnemonic
+        self.length = length      # encoded size in bytes
+        self.pops = pops          # None => pool-dependent (invokes)
+        self.pushes = pushes
+        self.kind = kind
+
+
+def _info(op: Op) -> OpInfo:
+    name = op.name.lower()
+    one_byte = {
+        Op.NOP, Op.ACONST_NULL, Op.POP, Op.DUP, Op.DUP_X1, Op.SWAP,
+        Op.IADD, Op.ISUB, Op.IMUL, Op.IDIV, Op.IREM, Op.INEG,
+        Op.ISHL, Op.ISHR, Op.IUSHR, Op.IAND, Op.IOR, Op.IXOR,
+        Op.FADD, Op.FSUB, Op.FMUL, Op.FDIV, Op.FNEG,
+        Op.I2F, Op.F2I, Op.I2B, Op.I2C, Op.I2S, Op.FCMPL, Op.FCMPG,
+        Op.IRETURN, Op.FRETURN, Op.ARETURN, Op.RETURN,
+        Op.ARRAYLENGTH, Op.IALOAD, Op.IASTORE, Op.FALOAD, Op.FASTORE,
+        Op.AALOAD, Op.AASTORE, Op.BALOAD, Op.BASTORE, Op.CALOAD,
+        Op.CASTORE, Op.MONITORENTER, Op.MONITOREXIT, Op.FCONST, Op.ICONST,
+    }
+    if op in (Op.ILOAD, Op.FLOAD, Op.ALOAD, Op.ISTORE, Op.FSTORE,
+              Op.ASTORE, Op.NEWARRAY, Op.LDC):
+        length = 2
+    elif op in (Op.TABLESWITCH, Op.LOOKUPSWITCH):
+        length = 12  # padded base; per-target bytes added by the method
+    elif op in one_byte:
+        length = 1
+    else:
+        length = 3  # branches, field/method refs, NEW, IINC, GOTO, ...
+
+    branch_ops = {
+        Op.IFEQ, Op.IFNE, Op.IFLT, Op.IFGE, Op.IFGT, Op.IFLE,
+        Op.IF_ICMPEQ, Op.IF_ICMPNE, Op.IF_ICMPLT, Op.IF_ICMPGE,
+        Op.IF_ICMPGT, Op.IF_ICMPLE, Op.IF_ACMPEQ, Op.IF_ACMPNE,
+        Op.IFNULL, Op.IFNONNULL,
+    }
+
+    pops, pushes, kind = 0, 0, "misc"
+    if op in (Op.ICONST, Op.FCONST, Op.ACONST_NULL, Op.LDC):
+        pushes, kind = 1, "const"
+    elif op in (Op.ILOAD, Op.FLOAD, Op.ALOAD):
+        pushes, kind = 1, "load_local"
+    elif op in (Op.ISTORE, Op.FSTORE, Op.ASTORE):
+        pops, kind = 1, "store_local"
+    elif op is Op.IINC:
+        kind = "iinc"
+    elif op is Op.POP:
+        pops, kind = 1, "stack"
+    elif op is Op.DUP:
+        pops, pushes, kind = 1, 2, "stack"
+    elif op is Op.DUP_X1:
+        pops, pushes, kind = 2, 3, "stack"
+    elif op is Op.SWAP:
+        pops, pushes, kind = 2, 2, "stack"
+    elif op in (Op.IADD, Op.ISUB, Op.IMUL, Op.IDIV, Op.IREM, Op.ISHL,
+                Op.ISHR, Op.IUSHR, Op.IAND, Op.IOR, Op.IXOR,
+                Op.FADD, Op.FSUB, Op.FMUL, Op.FDIV,
+                Op.FCMPL, Op.FCMPG):
+        pops, pushes, kind = 2, 1, "binop"
+    elif op in (Op.INEG, Op.FNEG, Op.I2F, Op.F2I, Op.I2B, Op.I2C, Op.I2S):
+        pops, pushes, kind = 1, 1, "unop"
+    elif op in (Op.IFEQ, Op.IFNE, Op.IFLT, Op.IFGE, Op.IFGT, Op.IFLE,
+                Op.IFNULL, Op.IFNONNULL):
+        pops, kind = 1, "branch"
+    elif op in branch_ops:
+        pops, kind = 2, "branch"
+    elif op is Op.GOTO:
+        kind = "goto"
+    elif op in (Op.TABLESWITCH, Op.LOOKUPSWITCH):
+        pops, kind = 1, "switch"
+    elif op in (Op.IRETURN, Op.FRETURN, Op.ARETURN):
+        pops, kind = 1, "return"
+    elif op is Op.RETURN:
+        kind = "return"
+    elif op is Op.GETSTATIC:
+        pushes, kind = 1, "field"
+    elif op is Op.PUTSTATIC:
+        pops, kind = 1, "field"
+    elif op is Op.GETFIELD:
+        pops, pushes, kind = 1, 1, "field"
+    elif op is Op.PUTFIELD:
+        pops, kind = 2, "field"
+    elif op in (Op.INVOKEVIRTUAL, Op.INVOKESPECIAL, Op.INVOKESTATIC):
+        pops, pushes, kind = None, None, "invoke"
+    elif op is Op.NEW:
+        pushes, kind = 1, "new"
+    elif op in (Op.NEWARRAY, Op.ANEWARRAY):
+        pops, pushes, kind = 1, 1, "new"
+    elif op is Op.ARRAYLENGTH:
+        pops, pushes, kind = 1, 1, "array"
+    elif op in (Op.IALOAD, Op.FALOAD, Op.AALOAD, Op.BALOAD, Op.CALOAD):
+        pops, pushes, kind = 2, 1, "array"
+    elif op in (Op.IASTORE, Op.FASTORE, Op.AASTORE, Op.BASTORE, Op.CASTORE):
+        pops, kind = 3, "array"
+    elif op in (Op.CHECKCAST, Op.INSTANCEOF):
+        pops, pushes, kind = 1, 1, "typecheck"
+    elif op in (Op.MONITORENTER, Op.MONITOREXIT):
+        pops, kind = 1, "monitor"
+
+    return OpInfo(name, length, pops, pushes, kind)
+
+
+#: Opcode metadata, indexed by :class:`Op` value.
+OPINFO: dict[Op, OpInfo] = {op: _info(op) for op in Op}
+
+#: Conditional-branch opcodes.
+BRANCH_OPS = frozenset(op for op in Op if OPINFO[op].kind == "branch")
+#: Invocation opcodes.
+INVOKE_OPS = frozenset(op for op in Op if OPINFO[op].kind == "invoke")
+#: Opcodes that terminate a basic block.
+TERMINATOR_OPS = frozenset(
+    op for op in Op if OPINFO[op].kind in ("branch", "goto", "switch", "return")
+)

@@ -1,0 +1,159 @@
+"""Structural bytecode verification and stack-depth inference.
+
+A light-weight analogue of the JVM verifier.  It checks that bytecode is
+well formed (targets in range, locals in range, pool indices valid, no
+falling off the end) and computes, for every instruction, the operand
+stack depth on entry — a fact the JIT's stack-to-register mapping and
+the interpreter's address generation both rely on.
+"""
+
+from __future__ import annotations
+
+from .instruction import Instr
+from .method import Method
+from .opcodes import Op, OPINFO
+from .pool import FieldRef, MethodRef, ClassRef, FloatConst, StringConst
+
+
+class VerifyError(Exception):
+    """Raised when a method fails structural verification."""
+
+
+def _stack_delta(method: Method, instr: Instr) -> tuple[int, int]:
+    """(pops, pushes) for an instruction, resolving invoke arity."""
+    info = OPINFO[instr.op]
+    if info.kind != "invoke":
+        return info.pops, info.pushes
+    ref = method.pool[instr.a]
+    if not isinstance(ref, MethodRef):
+        raise VerifyError(
+            f"{method.qualified_name}: invoke operand {instr.a} is not a MethodRef"
+        )
+    pops = ref.argc + (0 if instr.op is Op.INVOKESTATIC else 1)
+    return pops, (1 if ref.has_result else 0)
+
+
+def _check_pool_operand(method: Method, i: int, instr: Instr) -> None:
+    kind = OPINFO[instr.op].kind
+    pool = method.pool
+    if kind in ("field", "invoke", "typecheck") or instr.op in (
+        Op.NEW, Op.ANEWARRAY, Op.LDC,
+    ):
+        if not (0 <= instr.a < len(pool)):
+            raise VerifyError(
+                f"{method.qualified_name}@{i}: pool index {instr.a} out of range"
+            )
+        entry = pool[instr.a]
+        expected = {
+            "field": FieldRef,
+            "invoke": MethodRef,
+            "typecheck": ClassRef,
+        }.get(kind)
+        if instr.op in (Op.NEW, Op.ANEWARRAY):
+            expected = ClassRef
+        if instr.op is Op.LDC:
+            if not isinstance(entry, (StringConst, FloatConst)):
+                raise VerifyError(
+                    f"{method.qualified_name}@{i}: ldc operand must be a "
+                    f"string/float constant, got {entry!r}"
+                )
+            return
+        if expected is not None and not isinstance(entry, expected):
+            raise VerifyError(
+                f"{method.qualified_name}@{i}: {instr.info.mnemonic} expects "
+                f"{expected.__name__}, got {entry!r}"
+            )
+
+
+def verify_method(method: Method, max_stack: int = 64) -> list[int]:
+    """Verify ``method`` and return the per-instruction entry depth list.
+
+    The result is also stored on ``method.depth_in``.  Unreachable
+    instructions get depth -1.
+    """
+    if method.is_native:
+        method.depth_in = []
+        return []
+    code = method.code
+    n = len(code)
+    if n == 0:
+        raise VerifyError(f"{method.qualified_name}: empty code")
+
+    depth_in = [-1] * n
+    max_depth = 0
+    worklist = [(0, 0)]
+    while worklist:
+        i, depth = worklist.pop()
+        while True:
+            if not (0 <= i < n):
+                raise VerifyError(
+                    f"{method.qualified_name}: control flow reaches index {i}, "
+                    f"out of range 0..{n - 1}"
+                )
+            if depth_in[i] != -1:
+                if depth_in[i] != depth:
+                    raise VerifyError(
+                        f"{method.qualified_name}@{i}: inconsistent stack depth "
+                        f"({depth_in[i]} vs {depth})"
+                    )
+                break
+            depth_in[i] = depth
+            instr = code[i]
+            info = OPINFO[instr.op]
+
+            if info.kind in ("load_local", "store_local", "iinc"):
+                if not (0 <= instr.a < method.max_locals):
+                    raise VerifyError(
+                        f"{method.qualified_name}@{i}: local {instr.a} out of "
+                        f"range (max_locals={method.max_locals})"
+                    )
+            _check_pool_operand(method, i, instr)
+
+            pops, pushes = _stack_delta(method, instr)
+            if depth < pops:
+                raise VerifyError(
+                    f"{method.qualified_name}@{i}: stack underflow at "
+                    f"{instr.info.mnemonic} (depth {depth}, pops {pops})"
+                )
+            depth = depth - pops + pushes
+            max_depth = max(max_depth, depth)
+            if depth > max_stack:
+                raise VerifyError(
+                    f"{method.qualified_name}@{i}: stack overflow (depth {depth})"
+                )
+
+            kind = info.kind
+            if kind == "return":
+                break
+            targets = instr.branch_targets()
+            for t in targets:
+                if not (0 <= t < n):
+                    raise VerifyError(
+                        f"{method.qualified_name}@{i}: branch target {t} out of range"
+                    )
+            if kind == "goto":
+                i = instr.a
+                continue
+            if kind == "switch":
+                for t in targets:
+                    worklist.append((t, depth))
+                break
+            if kind == "branch":
+                worklist.append((instr.a, depth))
+            # fall through
+            if i + 1 >= n:
+                raise VerifyError(
+                    f"{method.qualified_name}@{i}: control falls off the end"
+                )
+            i += 1
+
+    method.depth_in = depth_in
+    method.max_stack = max_depth
+    return depth_in
+
+
+def verify_program(program) -> None:
+    """Verify every non-native method in a program."""
+    for method in program.all_methods():
+        verify_method(method)
+        method.compute_layout()

@@ -1,0 +1,41 @@
+"""Per-category native cycle cost model.
+
+A flat, in-order cost model used for the execution-time accounting of
+Section 3 (translate vs execute vs interpret, the oracle analysis).  The
+detailed timing studies (Figures 9/10) use the superscalar pipeline
+simulator instead; this model only needs to get the *relative* costs of
+instruction classes right, which is what the paper's normalized results
+depend on.
+
+Costs approximate an UltraSPARC-II-class core: single-cycle integer ALU,
+multi-cycle multiply/divide, two-cycle cache-hit loads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .nisa import N_CATEGORIES, NCat
+
+#: Base cycles charged per native instruction, indexed by :class:`NCat`.
+CYCLES_BY_CAT = np.zeros(N_CATEGORIES, dtype=np.int64)
+CYCLES_BY_CAT[NCat.NOP] = 1
+CYCLES_BY_CAT[NCat.IALU] = 1
+CYCLES_BY_CAT[NCat.IMUL] = 4
+CYCLES_BY_CAT[NCat.IDIV] = 20
+CYCLES_BY_CAT[NCat.FALU] = 2
+CYCLES_BY_CAT[NCat.FMUL] = 4
+CYCLES_BY_CAT[NCat.FDIV] = 12
+CYCLES_BY_CAT[NCat.LOAD] = 2
+CYCLES_BY_CAT[NCat.STORE] = 2
+CYCLES_BY_CAT[NCat.BRANCH] = 1
+CYCLES_BY_CAT[NCat.JUMP] = 1
+CYCLES_BY_CAT[NCat.IJUMP] = 3
+CYCLES_BY_CAT[NCat.CALL] = 1
+CYCLES_BY_CAT[NCat.ICALL] = 3
+CYCLES_BY_CAT[NCat.RET] = 2
+
+
+def cycles_for_categories(cats: np.ndarray) -> int:
+    """Total base cycles for an array of category codes."""
+    return int(CYCLES_BY_CAT[np.asarray(cats, dtype=np.int64)].sum())

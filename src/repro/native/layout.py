@@ -1,0 +1,139 @@
+"""Simulated address-space layout for the Java runtime.
+
+Every component of the runtime lives at a fixed region of a simulated
+32-bit address space, mirroring how a real JVM process is laid out.  The
+architectural studies (cache interference between the translator and the
+code it installs, instruction fetch from the code cache, bytecode reads
+treated as *data* by the interpreter, ...) depend on these regions being
+distinct and stable.
+
+All addresses are byte addresses; native instructions are 4 bytes wide
+(SPARC-like fixed-width encoding).
+"""
+
+from __future__ import annotations
+
+#: Width of one native instruction in bytes (SPARC fixed 32-bit encoding).
+NATIVE_INSTR_BYTES = 4
+
+#: Width of one stack slot / machine word in bytes.
+WORD_BYTES = 4
+
+# ---------------------------------------------------------------------------
+# Text (instruction) regions
+# ---------------------------------------------------------------------------
+
+#: The interpreter binary: dispatch loop plus one handler per opcode.
+INTERP_TEXT_BASE = 0x0100_0000
+INTERP_TEXT_SIZE = 0x0010_0000
+
+#: The JIT compiler (``translate``) binary: per-opcode code generators.
+JITC_TEXT_BASE = 0x0200_0000
+JITC_TEXT_SIZE = 0x0010_0000
+
+#: The code cache where translated native code is installed.  Writes to
+#: this region during installation are *data* stores; subsequent
+#: executions of the translated method fetch the same addresses as
+#: *instructions*.
+CODE_CACHE_BASE = 0x0300_0000
+CODE_CACHE_SIZE = 0x0080_0000
+
+#: VM runtime support routines (class loader, allocator, lock manager,
+#: native-method stubs).
+VM_TEXT_BASE = 0x0380_0000
+VM_TEXT_SIZE = 0x0010_0000
+
+# ---------------------------------------------------------------------------
+# Data regions
+# ---------------------------------------------------------------------------
+
+#: VM metadata: method blocks, vtables, constant pools, monitor cache.
+VM_DATA_BASE = 0x0400_0000
+VM_DATA_SIZE = 0x0100_0000
+
+#: Loaded bytecode streams.  The interpreter *reads these as data*.
+BYTECODE_BASE = 0x0500_0000
+BYTECODE_SIZE = 0x0100_0000
+
+#: Java thread stacks (frames: locals + operand stacks), 64 KB per thread.
+STACK_BASE = 0x0600_0000
+STACK_SIZE_PER_THREAD = 0x0001_0000
+STACK_REGION_SIZE = 0x0100_0000
+
+#: The garbage-collected object heap.
+HEAP_BASE = 0x0800_0000
+HEAP_SIZE = 0x1000_0000
+
+#: Static (class) variables.
+STATICS_BASE = 0x0A00_0000
+STATICS_SIZE = 0x0010_0000
+
+#: Raw class-file images, read during class loading.
+CLASSFILE_BASE = 0x0B00_0000
+CLASSFILE_SIZE = 0x0100_0000
+
+
+def thread_stack_base(thread_id: int) -> int:
+    """Base address of the stack region for a given thread."""
+    return STACK_BASE + thread_id * STACK_SIZE_PER_THREAD
+
+
+def region_name(address: int) -> str:
+    """Human-readable name of the region an address falls in.
+
+    Used by diagnostics and by tests asserting that traces touch the
+    regions they are supposed to.
+    """
+    ranges = (
+        (INTERP_TEXT_BASE, INTERP_TEXT_SIZE, "interp_text"),
+        (JITC_TEXT_BASE, JITC_TEXT_SIZE, "jitc_text"),
+        (CODE_CACHE_BASE, CODE_CACHE_SIZE, "code_cache"),
+        (VM_TEXT_BASE, VM_TEXT_SIZE, "vm_text"),
+        (VM_DATA_BASE, VM_DATA_SIZE, "vm_data"),
+        (BYTECODE_BASE, BYTECODE_SIZE, "bytecode"),
+        (STACK_BASE, STACK_REGION_SIZE, "stack"),
+        (HEAP_BASE, HEAP_SIZE, "heap"),
+        (STATICS_BASE, STATICS_SIZE, "statics"),
+        (CLASSFILE_BASE, CLASSFILE_SIZE, "classfile"),
+    )
+    for base, size, name in ranges:
+        if base <= address < base + size:
+            return name
+    return "unmapped"
+
+
+class TextRegion:
+    """Bump allocator handing out native-instruction pcs inside a region.
+
+    The interpreter and JIT-compiler binaries allocate their handler /
+    generator routines from their regions once at start-up; the code
+    cache allocates a fresh range for every translated method.
+    """
+
+    def __init__(self, base: int, size: int, name: str = "") -> None:
+        self.base = base
+        self.size = size
+        self.name = name
+        self._cursor = base
+
+    def alloc(self, n_instructions: int) -> int:
+        """Reserve ``n_instructions`` slots; return the base pc."""
+        if n_instructions < 0:
+            raise ValueError("cannot allocate a negative instruction count")
+        pc = self._cursor
+        self._cursor += n_instructions * NATIVE_INSTR_BYTES
+        if self._cursor > self.base + self.size:
+            raise MemoryError(
+                f"text region {self.name or hex(self.base)} exhausted "
+                f"({self._cursor - self.base} bytes used of {self.size})"
+            )
+        return pc
+
+    @property
+    def used_bytes(self) -> int:
+        """Number of bytes allocated so far."""
+        return self._cursor - self.base
+
+    def reset(self) -> None:
+        """Release everything (used when a VM instance is discarded)."""
+        self._cursor = self.base

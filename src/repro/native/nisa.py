@@ -1,0 +1,124 @@
+"""The native (SPARC-like) instruction-set model.
+
+The architectural studies are trace driven: the runtime emits, for every
+piece of work it does, the stream of native instructions an UltraSPARC
+binary would have executed.  This module defines the vocabulary of that
+stream — instruction categories, the register file, and the grouping of
+categories into the classes the paper's instruction-mix figure uses.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class NCat(IntEnum):
+    """Native instruction categories."""
+
+    NOP = 0
+    IALU = 1       # integer add/sub/logical/shift/sethi/move
+    IMUL = 2
+    IDIV = 3
+    FALU = 4       # fp add/sub/convert/compare
+    FMUL = 5
+    FDIV = 6
+    LOAD = 7
+    STORE = 8
+    BRANCH = 9     # conditional branch
+    JUMP = 10      # unconditional direct jump
+    IJUMP = 11     # register-indirect jump (switch dispatch, virtual call)
+    CALL = 12      # direct call
+    ICALL = 13     # indirect call (through a register / vtable)
+    RET = 14       # return
+
+
+N_CATEGORIES = len(NCat)
+
+#: Categories that access memory.
+MEMORY_CATS = frozenset({NCat.LOAD, NCat.STORE})
+
+#: Categories that transfer control.
+TRANSFER_CATS = frozenset(
+    {NCat.BRANCH, NCat.JUMP, NCat.IJUMP, NCat.CALL, NCat.ICALL, NCat.RET}
+)
+
+#: Control transfers whose target comes from a register (hard to predict).
+INDIRECT_CATS = frozenset({NCat.IJUMP, NCat.ICALL, NCat.RET})
+
+#: Categories counted as arithmetic in the mix summary.
+ARITH_CATS = frozenset(
+    {NCat.IALU, NCat.IMUL, NCat.IDIV, NCat.FALU, NCat.FMUL, NCat.FDIV}
+)
+
+#: Floating-point categories.
+FLOAT_CATS = frozenset({NCat.FALU, NCat.FMUL, NCat.FDIV})
+
+#: Mix buckets used by the paper's Figure 2.
+MIX_BUCKETS = ("load", "store", "branch", "call", "ijump", "jump", "ret",
+               "ialu", "fpu", "nop")
+
+
+def mix_bucket(cat: int) -> str:
+    """Map a category to its Figure-2 mix bucket."""
+    c = NCat(cat)
+    if c is NCat.LOAD:
+        return "load"
+    if c is NCat.STORE:
+        return "store"
+    if c is NCat.BRANCH:
+        return "branch"
+    if c in (NCat.CALL, NCat.ICALL):
+        return "call"
+    if c is NCat.IJUMP:
+        return "ijump"
+    if c is NCat.JUMP:
+        return "jump"
+    if c is NCat.RET:
+        return "ret"
+    if c in (NCat.FALU, NCat.FMUL, NCat.FDIV):
+        return "fpu"
+    if c is NCat.NOP:
+        return "nop"
+    return "ialu"
+
+
+# ---------------------------------------------------------------------------
+# Register file
+# ---------------------------------------------------------------------------
+# A flat 32-register integer file, SPARC-style in spirit.  Register 0 is
+# hard-wired zero.  The interpreter binary uses a fixed set of "VM
+# registers"; JIT-compiled code allocates from the remaining window.
+
+N_REGISTERS = 32
+
+REG_ZERO = 0      # hard-wired zero
+REG_VPC = 1       # interpreter: virtual (bytecode) pc
+REG_SP = 2        # interpreter: operand-stack pointer
+REG_LOCALS = 3    # interpreter: locals base pointer
+REG_FP = 4        # frame pointer
+REG_TMP0 = 5
+REG_TMP1 = 6
+REG_TMP2 = 7
+REG_RETVAL = 8    # return-value register (o0-like)
+REG_ARG0 = 8
+REG_ARG1 = 9
+REG_ARG2 = 10
+REG_THREAD = 11   # current-thread pointer
+
+#: First register available to the JIT's register allocator.
+JIT_REG_BASE = 12
+#: Number of registers the JIT may allocate (the rest are VM-reserved).
+JIT_REG_COUNT = N_REGISTERS - JIT_REG_BASE
+
+NO_REG = -1
+
+
+# ---------------------------------------------------------------------------
+# Event flag bits (stored in the trace "flags" column)
+# ---------------------------------------------------------------------------
+
+FLAG_TAKEN = 1        # control transfer was taken
+FLAG_WRITE = 2        # memory access is a store
+FLAG_TRANSLATE = 4    # event belongs to the JIT translate portion
+FLAG_CLASSLOAD = 8    # event belongs to class loading / resolution
+FLAG_SYNC = 16        # event belongs to a synchronization operation

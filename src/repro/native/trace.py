@@ -1,0 +1,239 @@
+"""Native trace recording and archives.
+
+The runtime emits native instruction events through a *sink*.  Two sinks
+exist: :class:`CountingSink` only accumulates cycle and category counts
+(cheap; used for the timing studies of Section 3), and
+:class:`RecordingSink` additionally records the full event stream into a
+columnar :class:`Trace` archive that the cache / branch / pipeline
+simulators replay (the Shade-trace equivalent).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .costs import CYCLES_BY_CAT
+from .nisa import (
+    FLAG_TAKEN,
+    FLAG_TRANSLATE,
+    FLAG_WRITE,
+    INDIRECT_CATS,
+    MEMORY_CATS,
+    N_CATEGORIES,
+    NCat,
+    TRANSFER_CATS,
+)
+from .template import Template
+
+_COLUMNS = ("pc", "cat", "ea", "flags", "target", "dst", "src1", "src2")
+_DTYPES = {
+    "pc": np.int64,
+    "cat": np.int16,
+    "ea": np.int64,
+    "flags": np.int16,
+    "target": np.int64,
+    "dst": np.int16,
+    "src1": np.int16,
+    "src2": np.int16,
+}
+
+
+class Trace:
+    """An immutable columnar native-instruction trace.
+
+    Columns (parallel arrays of length ``n``):
+
+    - ``pc``      instruction address
+    - ``cat``     :class:`~repro.native.nisa.NCat` code
+    - ``ea``      effective address for memory operations (0 otherwise)
+    - ``flags``   event flag bits (taken / write / translate / ...)
+    - ``target``  control-transfer target pc (0 otherwise)
+    - ``dst``, ``src1``, ``src2``  register operands (-1 = none)
+    """
+
+    __slots__ = tuple(_COLUMNS) + ("n",)
+
+    def __init__(self, **columns: np.ndarray) -> None:
+        lengths = {len(columns[c]) for c in _COLUMNS}
+        if len(lengths) != 1:
+            raise ValueError(f"column lengths differ: {lengths}")
+        for c in _COLUMNS:
+            setattr(self, c, columns[c])
+        self.n = lengths.pop()
+
+    # -- constructors -------------------------------------------------
+    @classmethod
+    def from_columns(cls, **columns) -> "Trace":
+        """Build from any array-likes, coercing dtypes."""
+        coerced = {
+            c: np.asarray(columns[c], dtype=_DTYPES[c]) for c in _COLUMNS
+        }
+        return cls(**coerced)
+
+    @classmethod
+    def empty(cls) -> "Trace":
+        return cls.from_columns(**{c: [] for c in _COLUMNS})
+
+    @classmethod
+    def concatenate(cls, traces: Sequence["Trace"]) -> "Trace":
+        if not traces:
+            return cls.empty()
+        return cls(
+            **{
+                c: np.concatenate([getattr(t, c) for t in traces])
+                for c in _COLUMNS
+            }
+        )
+
+    # -- persistence ---------------------------------------------------
+    def save(self, path: str) -> None:
+        """Persist to an ``.npz`` archive."""
+        np.savez_compressed(path, **{c: getattr(self, c) for c in _COLUMNS})
+
+    @classmethod
+    def load(cls, path: str) -> "Trace":
+        if not os.path.exists(path):
+            raise FileNotFoundError(path)
+        with np.load(path) as data:
+            return cls(**{c: data[c] for c in _COLUMNS})
+
+    # -- derived views ---------------------------------------------------
+    def select(self, mask: np.ndarray) -> "Trace":
+        """A sub-trace of the rows where ``mask`` is true."""
+        return Trace(**{c: getattr(self, c)[mask] for c in _COLUMNS})
+
+    @property
+    def is_memory(self) -> np.ndarray:
+        return np.isin(self.cat, list(MEMORY_CATS))
+
+    @property
+    def is_write(self) -> np.ndarray:
+        return (self.flags & FLAG_WRITE) != 0
+
+    @property
+    def is_transfer(self) -> np.ndarray:
+        return np.isin(self.cat, list(TRANSFER_CATS))
+
+    @property
+    def is_indirect(self) -> np.ndarray:
+        return np.isin(self.cat, list(INDIRECT_CATS))
+
+    @property
+    def is_taken(self) -> np.ndarray:
+        return (self.flags & FLAG_TAKEN) != 0
+
+    @property
+    def in_translate(self) -> np.ndarray:
+        return (self.flags & FLAG_TRANSLATE) != 0
+
+    def category_counts(self) -> np.ndarray:
+        """Dynamic count per :class:`NCat`, length ``N_CATEGORIES``."""
+        return np.bincount(self.cat, minlength=N_CATEGORIES).astype(np.int64)
+
+    def base_cycles(self) -> int:
+        """Total cycles under the flat cost model."""
+        return int(CYCLES_BY_CAT[self.cat].sum())
+
+    def __len__(self) -> int:
+        return self.n
+
+    def iter_events(self) -> Iterator[tuple]:
+        """Row-wise iteration (slow; for tests and debugging)."""
+        for i in range(self.n):
+            yield tuple(int(getattr(self, c)[i]) for c in _COLUMNS)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Trace(n={self.n})"
+
+
+class CountingSink:
+    """Accumulates cycles and per-category counts; records nothing.
+
+    Also tracks the same totals split by the *translate* flag so that
+    Section 3's translate-vs-execute accounting works without a full
+    trace.
+    """
+
+    records = False
+
+    def __init__(self) -> None:
+        self.cycles = 0
+        self.translate_cycles = 0
+        self.cat_counts = np.zeros(N_CATEGORIES, dtype=np.int64)
+        self.instructions = 0
+
+    def emit(self, template: Template, eas=(), takens=(), targets=()) -> None:
+        self.cycles += template.cycles
+        self.instructions += template.n
+        self.cat_counts += template.cat_counts
+        if template.n and (template.flags[0] & FLAG_TRANSLATE):
+            self.translate_cycles += template.cycles
+
+    def emit_cycles(self, cycles: int) -> None:
+        """Charge raw cycles with no instruction stream (lock spins etc.)."""
+        self.cycles += cycles
+
+
+class RecordingSink(CountingSink):
+    """Counts *and* records the full native event stream."""
+
+    records = True
+
+    def __init__(self, initial_capacity: int = 1 << 16) -> None:
+        super().__init__()
+        self._cap = max(int(initial_capacity), 16)
+        self._n = 0
+        self._cols = {
+            c: np.zeros(self._cap, dtype=_DTYPES[c]) for c in _COLUMNS
+        }
+
+    def _ensure(self, extra: int) -> None:
+        need = self._n + extra
+        if need <= self._cap:
+            return
+        new_cap = self._cap
+        while new_cap < need:
+            new_cap *= 2
+        for c in _COLUMNS:
+            grown = np.zeros(new_cap, dtype=_DTYPES[c])
+            grown[: self._n] = self._cols[c][: self._n]
+            self._cols[c] = grown
+        self._cap = new_cap
+
+    def emit(self, template: Template, eas=(), takens=(), targets=()) -> None:
+        super().emit(template, eas, takens, targets)
+        n = template.n
+        if n == 0:
+            return
+        self._ensure(n)
+        s = self._n
+        cols = self._cols
+        cols["pc"][s : s + n] = template.pc
+        cols["cat"][s : s + n] = template.cat
+        cols["ea"][s : s + n] = template.ea
+        cols["flags"][s : s + n] = template.flags
+        cols["target"][s : s + n] = template.target
+        cols["dst"][s : s + n] = template.dst
+        cols["src1"][s : s + n] = template.src1
+        cols["src2"][s : s + n] = template.src2
+        if len(template.patch_ea):
+            cols["ea"][s + template.patch_ea] = eas
+        if len(template.patch_taken):
+            rows = s + template.patch_taken
+            taken_bits = np.asarray(takens, dtype=np.int16) * FLAG_TAKEN
+            cols["flags"][rows] = (cols["flags"][rows] & ~FLAG_TAKEN) | taken_bits
+        if len(template.patch_target):
+            cols["target"][s + template.patch_target] = targets
+        self._n += n
+
+    def trace(self) -> Trace:
+        """Freeze the recorded stream into a :class:`Trace`."""
+        return Trace(
+            **{c: self._cols[c][: self._n].copy() for c in _COLUMNS}
+        )
+
+    def __len__(self) -> int:
+        return self._n

@@ -1,0 +1,39 @@
+"""Synchronization designs: JDK monitor cache, thin locks, 1-bit locks."""
+
+from .base import (
+    ALL_CASES,
+    CASE_CONTENDED,
+    CASE_DEEP_RECURSIVE,
+    CASE_RECURSIVE,
+    CASE_UNLOCKED,
+    RECURSION_LIMIT,
+    LockManager,
+    LockState,
+    SyncStats,
+    classify,
+)
+from .monitor_cache import MonitorCacheLockManager
+from .thinlock import OneBitLockManager, ThinLockManager
+
+LOCK_MANAGERS = {
+    "monitor-cache": MonitorCacheLockManager,
+    "thin-lock": ThinLockManager,
+    "one-bit-lock": OneBitLockManager,
+}
+
+__all__ = [
+    "ALL_CASES",
+    "CASE_CONTENDED",
+    "CASE_DEEP_RECURSIVE",
+    "CASE_RECURSIVE",
+    "CASE_UNLOCKED",
+    "LOCK_MANAGERS",
+    "LockManager",
+    "LockState",
+    "MonitorCacheLockManager",
+    "OneBitLockManager",
+    "RECURSION_LIMIT",
+    "SyncStats",
+    "ThinLockManager",
+    "classify",
+]

@@ -1,0 +1,146 @@
+"""JDK 1.1.6-style monitor cache.
+
+Sun's JDK 1.1.6 keeps all monitors in a 128-bucket open-hash table (the
+*monitor cache*).  Locking any object means: lock the monitor cache
+itself, hash the object's handle, walk the bucket chain to the monitor,
+perform the monitor operation, unlock the cache.  Space-efficient, but
+every operation — even an uncontended lock — pays the global lock and
+the hash/chain walk, which is exactly the overhead the paper measures
+and the thin-lock design removes.
+"""
+
+from __future__ import annotations
+
+from ..native.layout import VM_DATA_BASE
+from ..native.nisa import FLAG_SYNC, NCat, REG_ARG0, REG_TMP0, REG_TMP1, REG_TMP2
+from ..native.template import PATCH, TemplateBuilder
+from .base import CASE_CONTENDED, LockManager, LockState
+
+#: Number of hash buckets in the monitor cache.
+N_BUCKETS = 128
+
+#: Simulated address of the monitor cache (inside VM data).
+MONITOR_CACHE_BASE = VM_DATA_BASE + 0x1800
+#: The global lock guarding the whole cache.
+CACHE_LOCK_EA = MONITOR_CACHE_BASE - 8
+#: Bytes per monitor structure.
+MONITOR_BYTES = 32
+
+
+class _Templates:
+    """pc-stable native templates of the monitor-cache routines."""
+
+    def __init__(self) -> None:
+        # Imported lazily: the VM package itself imports the sync package.
+        from ..vm.stubs import shared_stubs
+        region = shared_stubs().region
+
+        # Lock the monitor cache itself (CAS, usually uncontended).
+        b = TemplateBuilder("mcache:global_lock", base_flags=FLAG_SYNC)
+        b.load(dst=REG_TMP0, src1=REG_TMP1, ea=CACHE_LOCK_EA)
+        b.ialu(dst=REG_TMP0, src1=REG_TMP0)
+        b.store(src1=REG_TMP0, src2=REG_TMP1, ea=CACHE_LOCK_EA)
+        self.global_lock = b.build(region=region)
+
+        # Hash the handle and load the bucket head.
+        b = TemplateBuilder("mcache:hash", base_flags=FLAG_SYNC)
+        b.ialu(dst=REG_TMP1, src1=REG_ARG0, n=2)
+        b.load(dst=REG_TMP2, src1=REG_TMP1, ea=PATCH)    # bucket head
+        self.hash_bucket = b.build(region=region)
+
+        # Walk one chain link.
+        b = TemplateBuilder("mcache:walk", base_flags=FLAG_SYNC)
+        b.load(dst=REG_TMP0, src1=REG_TMP2, ea=PATCH)    # monitor.handle
+        b.instr(NCat.BRANCH, src1=REG_TMP0, taken=PATCH, target=b.rel(2))
+        b.load(dst=REG_TMP2, src1=REG_TMP2, ea=PATCH)    # monitor.next
+        self.walk = b.build(region=region)
+
+        # The monitor operation proper (read-modify-write owner/count).
+        b = TemplateBuilder("mcache:op", base_flags=FLAG_SYNC)
+        b.load(dst=REG_TMP0, src1=REG_TMP2, ea=PATCH)
+        b.ialu(dst=REG_TMP0, src1=REG_TMP0)
+        b.store(src1=REG_TMP0, src2=REG_TMP2, ea=PATCH)
+        self.monitor_op = b.build(region=region)
+
+        # Unlock the cache.
+        b = TemplateBuilder("mcache:global_unlock", base_flags=FLAG_SYNC)
+        b.store(src1=0, src2=REG_TMP1, ea=CACHE_LOCK_EA)
+        b.instr(NCat.RET, target=(0))
+        self.global_unlock = b.build(region=region)
+
+
+_TPL: _Templates | None = None
+
+
+def _templates() -> _Templates:
+    global _TPL
+    if _TPL is None:
+        _TPL = _Templates()
+    return _TPL
+
+
+class MonitorCacheLockManager(LockManager):
+    """The original JDK 1.1.6 design: every operation goes through the
+    globally-locked hash table."""
+
+    name = "monitor-cache"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._tpl = _templates()
+        self._monitor_addr: dict[int, int] = {}   # lockword_addr -> monitor
+        self._bucket_chains: dict[int, list[int]] = {}
+        self._next_monitor = MONITOR_CACHE_BASE + 8 * N_BUCKETS
+
+    def _monitor_for(self, obj) -> tuple[int, int, int]:
+        """(monitor_addr, bucket_index, chain_position)."""
+        key = obj.lockword_addr
+        bucket = (key >> 3) % N_BUCKETS
+        chain = self._bucket_chains.setdefault(bucket, [])
+        addr = self._monitor_addr.get(key)
+        if addr is None:
+            addr = self._next_monitor
+            self._next_monitor += MONITOR_BYTES
+            self._monitor_addr[key] = addr
+            chain.append(key)
+        return addr, bucket, chain.index(key)
+
+    def _cache_walk(self, obj, sink) -> tuple[int, int]:
+        """Global lock + hash + chain walk; returns (monitor_addr, cycles)."""
+        tpl = self._tpl
+        monitor, bucket, position = self._monitor_for(obj)
+        cycles = 0
+        sink.emit(tpl.global_lock)
+        cycles += tpl.global_lock.cycles
+        bucket_ea = MONITOR_CACHE_BASE + 8 * bucket
+        sink.emit(tpl.hash_bucket, (bucket_ea,))
+        cycles += tpl.hash_bucket.cycles
+        # Walk to the monitor's position in the chain (last link matches).
+        chain = self._bucket_chains[bucket]
+        for i in range(position + 1):
+            link = self._monitor_addr[chain[i]]
+            sink.emit(tpl.walk, (link, link + 4), (i == position,))
+            cycles += tpl.walk.cycles
+        return monitor, cycles
+
+    def _acquire_cost(self, obj, case: str, sink) -> int:
+        monitor, cycles = self._cache_walk(obj, sink)
+        tpl = self._tpl
+        sink.emit(tpl.monitor_op, (monitor + 8, monitor + 8))
+        cycles += tpl.monitor_op.cycles
+        if case == CASE_CONTENDED:
+            # Enqueue on the monitor's wait list before giving up the cache.
+            sink.emit(tpl.monitor_op, (monitor + 16, monitor + 16))
+            cycles += tpl.monitor_op.cycles
+        sink.emit(tpl.global_unlock)
+        cycles += tpl.global_unlock.cycles
+        return cycles
+
+    def _release_cost(self, obj, state: LockState, sink) -> int:
+        monitor, cycles = self._cache_walk(obj, sink)
+        tpl = self._tpl
+        sink.emit(tpl.monitor_op, (monitor + 8, monitor + 8))
+        cycles += tpl.monitor_op.cycles
+        sink.emit(tpl.global_unlock)
+        cycles += tpl.global_unlock.cycles
+        return cycles

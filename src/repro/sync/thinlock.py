@@ -1,0 +1,167 @@
+"""Thin locks (Bacon et al.), and the paper's 1-bit variant.
+
+The 24-bit thin lock lives in the object header: 1 bit selects
+thin/fat, 8 bits count recursion (up to 256), 15 bits name the owning
+thread.  Cases (a) and (b) are handled with a couple of instructions on
+the object's own lock word — no global lock, no hash, no chain walk.
+Cases (c) and (d) inflate to a fat monitor and pay monitor-cache-like
+costs.
+
+The 1-bit variant (Section 5's space optimization) spends a single
+header bit and takes the fast path only for case (a); every recursive
+or contended acquisition falls back to the fat path.
+"""
+
+from __future__ import annotations
+
+from ..native.layout import VM_DATA_BASE
+from ..native.nisa import FLAG_SYNC, NCat, REG_ARG0, REG_TMP0, REG_TMP1
+from ..native.template import PATCH, TemplateBuilder
+from .base import (
+    CASE_CONTENDED,
+    CASE_DEEP_RECURSIVE,
+    CASE_RECURSIVE,
+    CASE_UNLOCKED,
+    LockManager,
+    LockState,
+)
+
+#: Fat monitors for inflated thin locks live here.
+FAT_MONITOR_BASE = VM_DATA_BASE + 0x4000
+FAT_MONITOR_BYTES = 32
+
+
+class _Templates:
+    """pc-stable native templates for the thin-lock fast/slow paths."""
+
+    def __init__(self) -> None:
+        # Imported lazily: the VM package itself imports the sync package.
+        from ..vm.stubs import shared_stubs
+        region = shared_stubs().region
+
+        # Case (a): compare-and-swap the thin lock word.
+        b = TemplateBuilder("thin:cas", base_flags=FLAG_SYNC)
+        b.load(dst=REG_TMP0, src1=REG_ARG0, ea=PATCH)     # lock word
+        b.ialu(dst=REG_TMP1, src1=REG_TMP0, n=3)          # compose tid|count
+        b.instr(NCat.BRANCH, src1=REG_TMP1, taken=False, target=b.rel(3))
+        b.store(src1=REG_TMP1, src2=REG_ARG0, ea=PATCH)   # CAS success
+        b.ialu(dst=REG_TMP1, src1=REG_TMP1, n=3)          # membar / retry check
+        self.cas = b.build(region=region)
+
+        # Case (b): owner re-entry, bump the recursion field.
+        b = TemplateBuilder("thin:reenter", base_flags=FLAG_SYNC)
+        b.load(dst=REG_TMP0, src1=REG_ARG0, ea=PATCH)
+        b.ialu(dst=REG_TMP0, src1=REG_TMP0, n=2)
+        b.store(src1=REG_TMP0, src2=REG_ARG0, ea=PATCH)
+        self.reenter = b.build(region=region)
+
+        # Slow path: operate on the object's fat monitor (cost on the
+        # order of a monitor-cache operation, minus the global lock and
+        # hash walk — the monitor is reached straight from the header).
+        b = TemplateBuilder("thin:fat", base_flags=FLAG_SYNC)
+        b.load(dst=REG_TMP0, src1=REG_ARG0, ea=PATCH)     # lock word
+        b.ialu(dst=REG_TMP1, src1=REG_TMP0, n=2)
+        b.instr(NCat.CALL, target=b.rel(1))               # fat-monitor routine
+        b.load(dst=REG_TMP0, src1=REG_TMP1, ea=PATCH)     # monitor state
+        b.ialu(dst=REG_TMP0, src1=REG_TMP0)
+        b.store(src1=REG_TMP0, src2=REG_TMP1, ea=PATCH)
+        b.instr(NCat.RET, target=0)
+        self.fat = b.build(region=region)
+
+        # Thin release: clear/decrement the lock word.
+        b = TemplateBuilder("thin:release", base_flags=FLAG_SYNC)
+        b.load(dst=REG_TMP0, src1=REG_ARG0, ea=PATCH)
+        b.ialu(dst=REG_TMP0, src1=REG_TMP0, n=2)          # membar + clear
+        b.store(src1=REG_TMP0, src2=REG_ARG0, ea=PATCH)
+        self.release = b.build(region=region)
+
+
+_TPL: _Templates | None = None
+
+
+def _templates() -> _Templates:
+    global _TPL
+    if _TPL is None:
+        _TPL = _Templates()
+    return _TPL
+
+
+class ThinLockManager(LockManager):
+    """24-bit thin locks: fast cases (a)/(b), fat fallback for (c)/(d)."""
+
+    name = "thin-lock"
+
+    #: Extra header bits this design spends per object.
+    HEADER_BITS = 24
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._tpl = _templates()
+        self._fat_addr: dict[int, int] = {}
+        self._next_fat = FAT_MONITOR_BASE
+
+    def _fat_monitor(self, obj) -> int:
+        addr = self._fat_addr.get(obj.lockword_addr)
+        if addr is None:
+            addr = self._next_fat
+            self._next_fat += FAT_MONITOR_BYTES
+            self._fat_addr[obj.lockword_addr] = addr
+        return addr
+
+    def _emit_fat(self, obj, sink) -> int:
+        tpl = self._tpl.fat
+        mon = self._fat_monitor(obj)
+        lw = obj.lockword_addr
+        sink.emit(tpl, (lw, mon, mon, mon + 8, mon + 8))
+        return tpl.cycles
+
+    def _acquire_cost(self, obj, case: str, sink) -> int:
+        lw = obj.lockword_addr
+        if case == CASE_UNLOCKED and not (obj.lock and obj.lock.inflated):
+            tpl = self._tpl.cas
+            sink.emit(tpl, (lw, lw))
+            return tpl.cycles
+        if case == CASE_RECURSIVE and not obj.lock.inflated:
+            tpl = self._tpl.reenter
+            sink.emit(tpl, (lw, lw))
+            return tpl.cycles
+        # (c), (d), or an already-inflated lock: thin attempt + fat path.
+        tpl = self._tpl.cas
+        sink.emit(tpl, (lw, lw))
+        return tpl.cycles + self._emit_fat(obj, sink)
+
+    def _release_cost(self, obj, state: LockState, sink) -> int:
+        if state.inflated:
+            return self._emit_fat(obj, sink)
+        tpl = self._tpl.release
+        lw = obj.lockword_addr
+        sink.emit(tpl, (lw, lw))
+        return tpl.cycles
+
+
+class OneBitLockManager(ThinLockManager):
+    """The 1-bit header variant: only case (a) takes the fast path."""
+
+    name = "one-bit-lock"
+    HEADER_BITS = 1
+
+    def _acquire_cost(self, obj, case: str, sink) -> int:
+        lw = obj.lockword_addr
+        if case == CASE_UNLOCKED and not (obj.lock and obj.lock.inflated):
+            tpl = self._tpl.cas
+            sink.emit(tpl, (lw, lw))
+            return tpl.cycles
+        # Everything else inflates: recursion cannot be expressed in 1 bit.
+        if obj.lock is not None:
+            obj.lock.inflated = True
+        tpl = self._tpl.cas
+        sink.emit(tpl, (lw, lw))
+        return tpl.cycles + self._emit_fat(obj, sink)
+
+    def _release_cost(self, obj, state: LockState, sink) -> int:
+        if state.inflated or state.count > 1:
+            return self._emit_fat(obj, sink)
+        tpl = self._tpl.release
+        lw = obj.lockword_addr
+        sink.emit(tpl, (lw, lw))
+        return tpl.cycles

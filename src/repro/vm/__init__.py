@@ -1,0 +1,38 @@
+"""The simulated Java virtual machine."""
+
+from .heap import Heap, OutOfMemoryError
+from .interpreter import Interpreter, VMError
+from .machine import DeadlockError, ExecutionLimitExceeded, JavaVM, VMResult
+from .objects import JArray, JObject, JString
+from .profiler import MethodProfile, Profiler
+from .strategy import (
+    CompileOnFirstUse,
+    CounterThreshold,
+    InterpretOnly,
+    OracleStrategy,
+    Strategy,
+)
+from .threads import Frame, JThread
+
+__all__ = [
+    "CompileOnFirstUse",
+    "CounterThreshold",
+    "DeadlockError",
+    "ExecutionLimitExceeded",
+    "Frame",
+    "Heap",
+    "Interpreter",
+    "InterpretOnly",
+    "JArray",
+    "JObject",
+    "JString",
+    "JThread",
+    "JavaVM",
+    "MethodProfile",
+    "OracleStrategy",
+    "OutOfMemoryError",
+    "Profiler",
+    "Strategy",
+    "VMError",
+    "VMResult",
+]

@@ -1,0 +1,189 @@
+"""The garbage-collected object heap.
+
+A bump-pointer allocator over the simulated heap region with a
+mark–sweep collector.  The collector does not move objects (addresses
+are identity for the trace layer); swept space is recycled through a
+first-fit free list.
+
+The paper's experiments deliberately exclude GC effects, so the default
+heap is sized to avoid collection for the bundled workloads — but the
+collector is real and exercised by tests and the GC example.
+"""
+
+from __future__ import annotations
+
+from ..isa.method import JClass
+from ..native.layout import HEAP_BASE, HEAP_SIZE
+from .objects import HeapRef, JArray, JObject, JString
+
+
+class OutOfMemoryError(Exception):
+    """Heap exhausted even after collection."""
+
+
+class HeapStats:
+    """Allocation statistics (feeds the Table 1 footprint study)."""
+
+    def __init__(self) -> None:
+        self.allocations = 0
+        self.allocated_bytes = 0
+        self.live_bytes = 0
+        self.peak_live_bytes = 0
+        self.gc_count = 0
+        self.gc_freed_bytes = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "allocations": self.allocations,
+            "allocated_bytes": self.allocated_bytes,
+            "live_bytes": self.live_bytes,
+            "peak_live_bytes": self.peak_live_bytes,
+            "gc_count": self.gc_count,
+            "gc_freed_bytes": self.gc_freed_bytes,
+        }
+
+
+class Heap:
+    """Bump + free-list allocator with mark–sweep collection."""
+
+    #: Allocation granule; keeps the free list simple.
+    ALIGN = 8
+
+    def __init__(self, limit_bytes: int = HEAP_SIZE,
+                 base: int = HEAP_BASE) -> None:
+        self.base = base
+        self.limit_bytes = min(limit_bytes, HEAP_SIZE)
+        self._cursor = base
+        self._free: list[tuple[int, int]] = []  # (addr, size), sorted by addr
+        self.objects: dict[int, object] = {}    # addr -> object
+        self._sizes: dict[int, int] = {}        # addr -> reserved size
+        self.stats = HeapStats()
+        #: Hook the VM installs to find GC roots: () -> iterable of refs.
+        self.root_provider = None
+        #: Hook called after each collection with freed byte count.
+        self.gc_listener = None
+
+    # -- allocation ------------------------------------------------------
+    def _align(self, nbytes: int) -> int:
+        return (nbytes + self.ALIGN - 1) & ~(self.ALIGN - 1)
+
+    def _reserve(self, nbytes: int) -> int:
+        nbytes = self._align(max(nbytes, self.ALIGN))
+        # First-fit from the free list.
+        for i, (addr, size) in enumerate(self._free):
+            if size >= nbytes:
+                if size == nbytes:
+                    self._free.pop(i)
+                else:
+                    self._free[i] = (addr + nbytes, size - nbytes)
+                return addr
+        if self._cursor + nbytes > self.base + self.limit_bytes:
+            raise OutOfMemoryError(
+                f"heap limit {self.limit_bytes} bytes exceeded"
+            )
+        addr = self._cursor
+        self._cursor += nbytes
+        return addr
+
+    def _admit(self, obj, nbytes: int) -> None:
+        self.objects[obj.addr] = obj
+        self._sizes[obj.addr] = self._align(max(nbytes, self.ALIGN))
+        self.stats.allocations += 1
+        self.stats.allocated_bytes += nbytes
+        self.stats.live_bytes += nbytes
+        self.stats.peak_live_bytes = max(
+            self.stats.peak_live_bytes, self.stats.live_bytes
+        )
+
+    def _alloc_with_gc(self, nbytes: int) -> int:
+        try:
+            return self._reserve(nbytes)
+        except OutOfMemoryError:
+            self.collect()
+            return self._reserve(nbytes)
+
+    def new_object(self, jclass: JClass) -> JObject:
+        probe = JObject(jclass, 0)
+        size = probe.byte_size
+        addr = self._alloc_with_gc(size)
+        obj = JObject(jclass, addr)
+        self._admit(obj, size)
+        return obj
+
+    def new_array(self, atype, length: int, ref_class: JClass | None = None) -> JArray:
+        probe = JArray(atype, length, 0, ref_class)
+        size = probe.byte_size
+        addr = self._alloc_with_gc(size)
+        arr = JArray(atype, length, addr, ref_class)
+        self._admit(arr, size)
+        return arr
+
+    def new_string(self, value: str) -> JString:
+        size = JString(value, 0).byte_size
+        addr = self._alloc_with_gc(size)
+        s = JString(value, addr)
+        self._admit(s, size)
+        return s
+
+    # -- collection --------------------------------------------------------
+    def collect(self) -> int:
+        """Mark–sweep; returns bytes freed."""
+        self.stats.gc_count += 1
+        for obj in self.objects.values():
+            obj.gc_mark = False
+
+        roots = list(self.root_provider()) if self.root_provider else []
+        stack = [r for r in roots if isinstance(r, HeapRef)]
+        while stack:
+            obj = stack.pop()
+            if obj.gc_mark:
+                continue
+            obj.gc_mark = True
+            if isinstance(obj, JObject):
+                for value in obj.fields.values():
+                    if isinstance(value, HeapRef) and not value.gc_mark:
+                        stack.append(value)
+            elif isinstance(obj, JArray) and obj.atype == "ref":
+                for value in obj.data:
+                    if isinstance(value, HeapRef) and not value.gc_mark:
+                        stack.append(value)
+
+        freed = 0
+        dead = [a for a, o in self.objects.items() if not o.gc_mark]
+        for addr in dead:
+            size = self._sizes.pop(addr)
+            del self.objects[addr]
+            self._free.append((addr, size))
+            freed += size
+        self._coalesce()
+        self.stats.live_bytes -= freed
+        self.stats.gc_freed_bytes += freed
+        if self.gc_listener:
+            self.gc_listener(freed)
+        return freed
+
+    def _coalesce(self) -> None:
+        """Merge adjacent free chunks."""
+        if not self._free:
+            return
+        self._free.sort()
+        merged = [self._free[0]]
+        for addr, size in self._free[1:]:
+            last_addr, last_size = merged[-1]
+            if last_addr + last_size == addr:
+                merged[-1] = (last_addr, last_size + size)
+            else:
+                merged.append((addr, size))
+        self._free = merged
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def live_object_count(self) -> int:
+        return len(self.objects)
+
+    @property
+    def used_bytes(self) -> int:
+        return self.stats.live_bytes
+
+    def contains(self, addr: int) -> bool:
+        return addr in self.objects

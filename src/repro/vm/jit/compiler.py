@@ -1,0 +1,593 @@
+"""The JIT compiler: bytecode -> native chunks.
+
+A template-style compiler in the spirit of Kaffe's JIT: operand-stack
+slots and locals are mapped onto fixed machine registers (spilling to
+the frame when the windows overflow), each bytecode becomes a short
+native chunk, conditional branches resolve to chunk pcs, and
+monomorphic tiny calls are inlined after class-hierarchy analysis.
+
+Compilation also *charges itself to the trace*: the translator's driver
+/ generator / install-store templates are emitted for every bytecode
+translated, producing the translate-portion footprint (including the
+code-cache write misses) that Section 4.3 of the paper studies.
+"""
+
+from __future__ import annotations
+
+from ...isa.method import Method
+from ...isa.opcodes import Op, OPINFO
+from ...native.layout import CODE_CACHE_BASE, CODE_CACHE_SIZE, TextRegion
+from ...native.nisa import NCat, NO_REG, REG_ARG0, REG_RETVAL, REG_TMP0, REG_TMP1
+from ...native.template import TemplateBuilder
+from ..objects import ARRAY_HEADER_BYTES, OBJECT_HEADER_BYTES
+from ..threads import FRAME_HEADER_BYTES
+from .chunks import Chunk, CompiledMethod, InlineSite
+from .inline import ClassHierarchy, inline_field_offsets, is_inlinable
+from .translate_stubs import shared_translate_stubs
+
+#: Registers available for operand-stack slots.
+STACK_REG_BASE, N_STACK_REGS = 12, 12
+#: Registers available for locals.
+LOCAL_REG_BASE, N_LOCAL_REGS = 24, 8
+
+#: Float-flavoured opcodes (generated as FPU categories).
+_FCATS = {
+    Op.FADD: NCat.FALU, Op.FSUB: NCat.FALU, Op.FMUL: NCat.FMUL,
+    Op.FDIV: NCat.FDIV, Op.FNEG: NCat.FALU, Op.I2F: NCat.FALU,
+    Op.F2I: NCat.FALU, Op.FCMPL: NCat.FALU, Op.FCMPG: NCat.FALU,
+}
+_ICATS = {Op.IMUL: NCat.IMUL, Op.IDIV: NCat.IDIV, Op.IREM: NCat.IDIV}
+
+
+class _Proto:
+    """One not-yet-materialized native instruction."""
+
+    __slots__ = ("cat", "dst", "src1", "src2", "ea", "taken", "target")
+
+    def __init__(self, cat, dst=NO_REG, src1=NO_REG, src2=NO_REG,
+                 ea=None, taken=None, target=None) -> None:
+        self.cat = cat
+        self.dst = dst
+        self.src1 = src1
+        self.src2 = src2
+        self.ea = ea          # None | ("abs", a) | ("frame", off) | "dyn"
+        self.taken = taken    # None | bool | "dyn"
+        self.target = target  # None | ("abs", pc) | ("chunk", i) | "dyn"
+
+
+class CodeCache:
+    """Per-VM code cache; tracks installed bytes for the footprint study."""
+
+    def __init__(self) -> None:
+        self.region = TextRegion(CODE_CACHE_BASE, CODE_CACHE_SIZE, "code_cache")
+        self.installed: dict[int, CompiledMethod] = {}
+
+    @property
+    def used_bytes(self) -> int:
+        return self.region.used_bytes
+
+    def install(self, compiled: CompiledMethod) -> None:
+        self.installed[compiled.method.method_id] = compiled
+
+
+class JITCompiler:
+    """Compiles methods for one VM instance."""
+
+    def __init__(self, loader, code_cache: CodeCache, sink,
+                 hierarchy: ClassHierarchy, inline: bool = True) -> None:
+        self.loader = loader
+        self.code_cache = code_cache
+        self.sink = sink
+        self.hierarchy = hierarchy
+        self.inline_enabled = inline
+        self.stubs = shared_translate_stubs()
+        self.methods_compiled = 0
+        self.bytecodes_compiled = 0
+        self.native_instructions_emitted = 0
+        self.inlined_sites = 0
+        self.peak_work_bytes = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def compile(self, method: Method) -> CompiledMethod:
+        """Translate one method, charge the work to the trace, install."""
+        assert not method.is_native, "native methods are never JIT-compiled"
+        protos_per_index: list[list[_Proto]] = []
+        inline_info: dict[int, InlineSite] = {}
+        for idx, instr in enumerate(method.code):
+            depth = method.depth_in[idx]
+            if depth < 0:      # unreachable instruction: no code
+                protos_per_index.append([])
+                continue
+            protos = self._gen_instr(method, idx, instr, depth, inline_info)
+            if protos:
+                protos = self._codegen_overhead(idx) + protos
+            protos_per_index.append(protos)
+
+        prologue_protos = [
+            _Proto(NCat.STORE, src1=REG_ARG0, ea=("frame", 0)),
+            _Proto(NCat.STORE, src1=REG_ARG0, ea=("frame", 4)),
+            _Proto(NCat.IALU, dst=REG_TMP0, src1=REG_ARG0),
+            _Proto(NCat.IALU, dst=REG_TMP1, src1=REG_TMP0),
+        ]
+
+        # Layout: prologue, then chunks in bytecode order, then any
+        # embedded switch tables.
+        counts = [len(prologue_protos)] + [len(p) for p in protos_per_index]
+        total = sum(counts)
+        n_table_words = sum(
+            len(i.branch_targets()) for i in method.code
+            if OPINFO[i.op].kind == "switch"
+        )
+        entry_pc = self.code_cache.region.alloc(total + n_table_words)
+        # pc of each bytecode index's chunk.
+        chunk_pcs: list[int] = []
+        cursor = entry_pc + 4 * len(prologue_protos)
+        for protos in protos_per_index:
+            chunk_pcs.append(cursor)
+            cursor += 4 * len(protos)
+        end_pc = cursor + 4 * n_table_words
+
+        # Fix switch-table load addresses now that the layout is known.
+        table_cursor = cursor
+        for idx, instr in enumerate(method.code):
+            if OPINFO[instr.op].kind != "switch":
+                continue
+            for proto in protos_per_index[idx]:
+                if proto.ea == "table":
+                    proto.ea = ("abs", table_cursor)
+            table_cursor += 4 * len(instr.branch_targets())
+
+        prologue = self._materialize(
+            f"{method.qualified_name}:prologue", prologue_protos,
+            entry_pc, chunk_pcs,
+        )
+        chunks: list[Chunk | None] = []
+        for idx, protos in enumerate(protos_per_index):
+            if not protos:
+                chunks.append(None)
+                continue
+            name = f"{method.qualified_name}@{idx}:{method.code[idx].info.mnemonic}"
+            chunks.append(self._materialize(name, protos, chunk_pcs[idx], chunk_pcs))
+
+        compiled = CompiledMethod(
+            method, chunks, prologue, entry_pc, end_pc, inline_info
+        )
+        install_pcs = [
+            [chunk_pcs[i] + 4 * k for k in range(len(p))]
+            for i, p in enumerate(protos_per_index)
+        ]
+        if install_pcs:
+            # the prologue is generated/installed with the first chunk
+            install_pcs[0] = [
+                entry_pc + 4 * k for k in range(len(prologue_protos))
+            ] + install_pcs[0]
+        compiled.translate_cycles = self.stubs.emit_translation(
+            self.sink, method, install_pcs
+        )
+        self.code_cache.install(compiled)
+        self.methods_compiled += 1
+        self.bytecodes_compiled += len(method.code)
+        self.native_instructions_emitted += total
+        self.peak_work_bytes = max(self.peak_work_bytes, 24 * len(method.code))
+        return compiled
+
+    @staticmethod
+    def _codegen_overhead(idx: int) -> list[_Proto]:
+        """Per-bytecode overhead of Kaffe-class template code generation.
+
+        A naive template JIT re-materializes operand state and address
+        bases around every bytecode's code: a reload from the frame's
+        spill area plus addressing arithmetic.  This is what makes
+        1998-era compiled Java code several-fold denser than the
+        interpreter rather than an order of magnitude (the paper's [27]
+        measures ~25 generated SPARC instructions per bytecode for the
+        whole translation unit).
+        """
+        return [
+            _Proto(NCat.LOAD, dst=REG_TMP1,
+                   ea=("frame", FRAME_HEADER_BYTES + 4 * (idx % 4))),
+            _Proto(NCat.IALU, dst=REG_TMP0, src1=REG_TMP1),
+            _Proto(NCat.IALU, dst=REG_TMP1, src1=REG_TMP0),
+            _Proto(NCat.IALU, dst=REG_TMP0, src1=REG_TMP1),
+        ]
+
+    # ------------------------------------------------------------------
+    # register mapping
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _sreg(slot: int) -> int | None:
+        return STACK_REG_BASE + slot if slot < N_STACK_REGS else None
+
+    @staticmethod
+    def _lreg(index: int) -> int | None:
+        return LOCAL_REG_BASE + index if index < N_LOCAL_REGS else None
+
+    @staticmethod
+    def _stack_off(method: Method, slot: int) -> int:
+        return FRAME_HEADER_BYTES + 4 * (method.max_locals + slot)
+
+    @staticmethod
+    def _local_off(index: int) -> int:
+        return FRAME_HEADER_BYTES + 4 * index
+
+    def _use(self, method, slot, scratch, out) -> int:
+        """Register holding stack slot ``slot``; loads spills into scratch."""
+        reg = self._sreg(slot)
+        if reg is not None:
+            return reg
+        out.append(_Proto(NCat.LOAD, dst=scratch,
+                          ea=("frame", self._stack_off(method, slot))))
+        return scratch
+
+    def _def(self, method, slot, value_reg, out) -> None:
+        """Spill-store if the destination slot has no register."""
+        if self._sreg(slot) is None:
+            out.append(_Proto(NCat.STORE, src1=value_reg,
+                              ea=("frame", self._stack_off(method, slot))))
+
+    def _dst(self, slot: int) -> int:
+        reg = self._sreg(slot)
+        return reg if reg is not None else REG_TMP0
+
+    # ------------------------------------------------------------------
+    # per-opcode generation
+    # ------------------------------------------------------------------
+    def _gen_instr(self, method, idx, instr, depth, inline_info) -> list[_Proto]:
+        op = instr.op
+        kind = OPINFO[op].kind
+        out: list[_Proto] = []
+        d = depth
+
+        if kind == "const":
+            rd = self._dst(d)
+            n = 2 if op is Op.LDC else 1
+            cat = NCat.FALU if op is Op.FCONST else NCat.IALU
+            for _ in range(n):
+                out.append(_Proto(cat, dst=rd))
+            self._def(method, d, rd, out)
+
+        elif kind == "load_local":
+            lr = self._lreg(instr.a)
+            rd = self._dst(d)
+            if lr is not None:
+                out.append(_Proto(NCat.IALU, dst=rd, src1=lr))
+            else:
+                out.append(_Proto(NCat.LOAD, dst=rd,
+                                  ea=("frame", self._local_off(instr.a))))
+            self._def(method, d, rd, out)
+
+        elif kind == "store_local":
+            rs = self._use(method, d - 1, REG_TMP0, out)
+            lr = self._lreg(instr.a)
+            if lr is not None:
+                out.append(_Proto(NCat.IALU, dst=lr, src1=rs))
+            else:
+                out.append(_Proto(NCat.STORE, src1=rs,
+                                  ea=("frame", self._local_off(instr.a))))
+
+        elif kind == "iinc":
+            lr = self._lreg(instr.a)
+            if lr is not None:
+                out.append(_Proto(NCat.IALU, dst=lr, src1=lr))
+            else:
+                off = self._local_off(instr.a)
+                out.append(_Proto(NCat.LOAD, dst=REG_TMP0, ea=("frame", off)))
+                out.append(_Proto(NCat.IALU, dst=REG_TMP0, src1=REG_TMP0))
+                out.append(_Proto(NCat.STORE, src1=REG_TMP0, ea=("frame", off)))
+
+        elif kind == "stack":
+            if op is Op.POP:
+                pass  # purely a mapping change; no code
+            elif op is Op.DUP:
+                rs = self._use(method, d - 1, REG_TMP0, out)
+                rd = self._dst(d)
+                out.append(_Proto(NCat.IALU, dst=rd, src1=rs))
+                self._def(method, d, rd, out)
+            elif op is Op.DUP_X1:
+                ra = self._use(method, d - 2, REG_TMP0, out)
+                rb = self._use(method, d - 1, REG_TMP1, out)
+                for dst_slot, src in ((d, rb), (d - 1, ra)):
+                    rd = self._dst(dst_slot)
+                    out.append(_Proto(NCat.IALU, dst=rd, src1=src))
+                    self._def(method, dst_slot, rd, out)
+                rd = self._dst(d - 2)
+                out.append(_Proto(NCat.IALU, dst=rd, src1=rb))
+                self._def(method, d - 2, rd, out)
+            elif op is Op.SWAP:
+                ra = self._use(method, d - 2, REG_TMP0, out)
+                rb = self._use(method, d - 1, REG_TMP1, out)
+                out.append(_Proto(NCat.IALU, dst=REG_TMP0, src1=ra))
+                rd = self._dst(d - 2)
+                out.append(_Proto(NCat.IALU, dst=rd, src1=rb))
+                self._def(method, d - 2, rd, out)
+                rd = self._dst(d - 1)
+                out.append(_Proto(NCat.IALU, dst=rd, src1=REG_TMP0))
+                self._def(method, d - 1, rd, out)
+
+        elif kind == "binop":
+            ra = self._use(method, d - 2, REG_TMP0, out)
+            rb = self._use(method, d - 1, REG_TMP1, out)
+            cat = _FCATS.get(op) or _ICATS.get(op) or NCat.IALU
+            rd = self._dst(d - 2)
+            out.append(_Proto(cat, dst=rd, src1=ra, src2=rb))
+            if op in (Op.FCMPL, Op.FCMPG):
+                out.append(_Proto(NCat.IALU, dst=rd, src1=rd))
+            self._def(method, d - 2, rd, out)
+
+        elif kind == "unop":
+            ra = self._use(method, d - 1, REG_TMP0, out)
+            cat = _FCATS.get(op, NCat.IALU)
+            rd = self._dst(d - 1)
+            out.append(_Proto(cat, dst=rd, src1=ra))
+            self._def(method, d - 1, rd, out)
+
+        elif kind == "branch":
+            if op in (Op.IFEQ, Op.IFNE, Op.IFLT, Op.IFGE, Op.IFGT, Op.IFLE,
+                      Op.IFNULL, Op.IFNONNULL):
+                ra = self._use(method, d - 1, REG_TMP0, out)
+                out.append(_Proto(NCat.IALU, dst=REG_TMP0, src1=ra))
+            else:
+                ra = self._use(method, d - 2, REG_TMP0, out)
+                rb = self._use(method, d - 1, REG_TMP1, out)
+                out.append(_Proto(NCat.IALU, dst=REG_TMP0, src1=ra, src2=rb))
+            out.append(_Proto(NCat.BRANCH, src1=REG_TMP0, taken="dyn",
+                              target=("chunk", instr.a)))
+
+        elif kind == "goto":
+            out.append(_Proto(NCat.JUMP, target=("chunk", instr.a)))
+
+        elif kind == "switch":
+            ra = self._use(method, d - 1, REG_TMP0, out)
+            out.append(_Proto(NCat.IALU, dst=REG_TMP0, src1=ra))
+            out.append(_Proto(NCat.IALU, dst=REG_TMP0, src1=REG_TMP0))
+            out.append(_Proto(NCat.LOAD, dst=REG_TMP1, src1=REG_TMP0, ea="table"))
+            out.append(_Proto(NCat.IJUMP, src1=REG_TMP1, target="dyn"))
+
+        elif kind == "return":
+            if op is not Op.RETURN:
+                ra = self._use(method, d - 1, REG_TMP0, out)
+                out.append(_Proto(NCat.IALU, dst=REG_RETVAL, src1=ra))
+            out.append(_Proto(NCat.IALU, dst=REG_TMP0, src1=REG_TMP0))
+            out.append(_Proto(NCat.RET, target="dyn"))
+
+        elif kind == "field":
+            if op is Op.GETFIELD:
+                self._use(method, d - 1, REG_TMP0, out)
+                rd = self._dst(d - 1)
+                out.append(_Proto(NCat.LOAD, dst=rd, ea="dyn"))
+                self._def(method, d - 1, rd, out)
+            elif op is Op.PUTFIELD:
+                rv = self._use(method, d - 1, REG_TMP0, out)
+                self._use(method, d - 2, REG_TMP1, out)
+                out.append(_Proto(NCat.STORE, src1=rv, ea="dyn"))
+            else:
+                owner, fname = self.loader.resolve_field(method.jclass, instr.a)
+                addr = owner.static_addr[fname]
+                if op is Op.GETSTATIC:
+                    rd = self._dst(d)
+                    out.append(_Proto(NCat.LOAD, dst=rd, ea=("abs", addr)))
+                    self._def(method, d, rd, out)
+                else:
+                    rv = self._use(method, d - 1, REG_TMP0, out)
+                    out.append(_Proto(NCat.STORE, src1=rv, ea=("abs", addr)))
+
+        elif kind == "invoke":
+            site = self._try_inline(method, idx, instr, d)
+            if site is not None:
+                inline_info[idx] = site[0]
+                out.extend(site[1])
+                self.inlined_sites += 1
+            else:
+                ref = method.pool[instr.a]
+                n_args = ref.argc + (0 if op is Op.INVOKESTATIC else 1)
+                for k in range(min(n_args, 6)):
+                    slot = d - n_args + k
+                    rs = self._use(method, slot, REG_TMP0, out)
+                    out.append(_Proto(NCat.IALU, dst=REG_ARG0 + (k % 3), src1=rs))
+                if op is Op.INVOKEVIRTUAL:
+                    out.append(_Proto(NCat.LOAD, dst=REG_TMP0, ea="dyn"))   # class
+                    out.append(_Proto(NCat.LOAD, dst=REG_TMP1, src1=REG_TMP0,
+                                      ea="dyn"))                             # vtable
+                    out.append(_Proto(NCat.ICALL, src1=REG_TMP1, target="dyn"))
+                else:
+                    out.append(_Proto(NCat.CALL, target="dyn"))
+
+        elif kind == "new":
+            out.append(_Proto(NCat.IALU, dst=REG_ARG0))
+            out.append(_Proto(NCat.CALL, target="dyn"))
+            rd = self._dst(d if op is Op.NEW else d - 1)
+            out.append(_Proto(NCat.IALU, dst=rd, src1=REG_RETVAL))
+            self._def(method, d if op is Op.NEW else d - 1, rd, out)
+
+        elif kind == "array":
+            if op is Op.ARRAYLENGTH:
+                self._use(method, d - 1, REG_TMP0, out)
+                rd = self._dst(d - 1)
+                out.append(_Proto(NCat.LOAD, dst=rd, ea="dyn"))
+                self._def(method, d - 1, rd, out)
+            elif op in (Op.IALOAD, Op.FALOAD, Op.AALOAD, Op.BALOAD, Op.CALOAD):
+                ri = self._use(method, d - 1, REG_TMP0, out)
+                ra = self._use(method, d - 2, REG_TMP1, out)
+                out.append(_Proto(NCat.LOAD, dst=REG_TMP1, src1=ra, ea="dyn"))  # len
+                out.append(_Proto(NCat.BRANCH, src1=REG_TMP1, taken=False,
+                                  target=("abs", 0)))
+                out.append(_Proto(NCat.IALU, dst=REG_TMP0, src1=ra, src2=ri))
+                rd = self._dst(d - 2)
+                out.append(_Proto(NCat.LOAD, dst=rd, src1=REG_TMP0, ea="dyn"))
+                self._def(method, d - 2, rd, out)
+            else:  # array stores
+                rv = self._use(method, d - 1, REG_TMP0, out)
+                ri = self._use(method, d - 2, REG_TMP1, out)
+                ra = self._use(method, d - 3, REG_TMP1, out)
+                out.append(_Proto(NCat.LOAD, dst=REG_TMP1, src1=ra, ea="dyn"))  # len
+                out.append(_Proto(NCat.BRANCH, src1=REG_TMP1, taken=False,
+                                  target=("abs", 0)))
+                out.append(_Proto(NCat.IALU, dst=REG_TMP1, src1=ra, src2=ri))
+                out.append(_Proto(NCat.STORE, src1=rv, src2=REG_TMP1, ea="dyn"))
+
+        elif kind == "typecheck":
+            self._use(method, d - 1, REG_TMP0, out)
+            out.append(_Proto(NCat.LOAD, dst=REG_TMP1, ea="dyn"))  # class ptr
+            out.append(_Proto(NCat.IALU, dst=REG_TMP1, src1=REG_TMP1))
+            out.append(_Proto(NCat.BRANCH, src1=REG_TMP1, taken=False,
+                              target=("abs", 0)))
+            if op is Op.INSTANCEOF:
+                rd = self._dst(d - 1)
+                out.append(_Proto(NCat.IALU, dst=rd, src1=REG_TMP1))
+                self._def(method, d - 1, rd, out)
+
+        elif kind == "monitor":
+            rs = self._use(method, d - 1, REG_TMP0, out)
+            out.append(_Proto(NCat.IALU, dst=REG_ARG0, src1=rs))
+            out.append(_Proto(NCat.CALL, target="dyn"))
+
+        elif op is Op.NOP:
+            pass
+
+        else:  # pragma: no cover - exhaustiveness guard
+            raise NotImplementedError(f"JIT cannot translate {op!r}")
+
+        return out
+
+    # ------------------------------------------------------------------
+    # inlining
+    # ------------------------------------------------------------------
+    def _try_inline(self, method, idx, instr, depth):
+        """Attempt to inline the call site; returns (InlineSite, protos)."""
+        if not self.inline_enabled:
+            return None
+        ref = method.pool[instr.a]
+        op = instr.op
+        if op is Op.INVOKEVIRTUAL:
+            target = self.hierarchy.unique_target(ref.class_name, ref.method_name)
+        else:
+            try:
+                target = self.loader.resolve_method(method.jclass, instr.a)
+            except Exception:
+                return None
+        if target is None or not is_inlinable(target):
+            return None
+        offsets = inline_field_offsets(target, self.loader)
+        if offsets is None:
+            return None
+        has_receiver = op is not Op.INVOKESTATIC
+        if not has_receiver and offsets:
+            return None  # field access needs a receiver
+
+        n_args = ref.argc + (1 if has_receiver else 0)
+        args_base = depth - n_args       # caller slot of first callee local
+        protos: list[_Proto] = []
+        dyn_offsets: list[int] = []
+
+        # A tiny abstract interpreter over the callee, mapping callee
+        # stack slot k -> caller slot (depth + k).
+        def cslot(k: int) -> int:
+            return depth + k
+
+        sp = 0
+        for c_instr in target.code:
+            c_op = c_instr.op
+            c_kind = OPINFO[c_op].kind
+            if c_kind == "const":
+                rd = self._dst(cslot(sp))
+                protos.append(_Proto(
+                    NCat.FALU if c_op is Op.FCONST else NCat.IALU, dst=rd))
+                sp += 1
+            elif c_kind == "load_local":
+                src_slot = args_base + c_instr.a
+                rs = self._use(method, src_slot, REG_TMP0, protos)
+                rd = self._dst(cslot(sp))
+                protos.append(_Proto(NCat.IALU, dst=rd, src1=rs))
+                sp += 1
+            elif c_kind == "store_local":
+                sp -= 1  # store into an inlined temp: register rename only
+            elif c_op is Op.GETFIELD:
+                rd = self._dst(cslot(sp - 1))
+                protos.append(_Proto(NCat.LOAD, dst=rd, ea="dyn"))
+                dyn_offsets.append(OBJECT_HEADER_BYTES +
+                                   self._inline_field_off(target, c_instr))
+            elif c_op is Op.PUTFIELD:
+                rv = self._use(method, cslot(sp - 1), REG_TMP0, protos)
+                protos.append(_Proto(NCat.STORE, src1=rv, ea="dyn"))
+                dyn_offsets.append(OBJECT_HEADER_BYTES +
+                                   self._inline_field_off(target, c_instr))
+                sp -= 2
+            elif c_kind == "binop":
+                ra = self._use(method, cslot(sp - 2), REG_TMP0, protos)
+                rb = self._use(method, cslot(sp - 1), REG_TMP1, protos)
+                cat = _FCATS.get(c_op) or _ICATS.get(c_op) or NCat.IALU
+                rd = self._dst(cslot(sp - 2))
+                protos.append(_Proto(cat, dst=rd, src1=ra, src2=rb))
+                sp -= 1
+            elif c_kind == "unop":
+                ra = self._use(method, cslot(sp - 1), REG_TMP0, protos)
+                rd = self._dst(cslot(sp - 1))
+                protos.append(_Proto(_FCATS.get(c_op, NCat.IALU), dst=rd, src1=ra))
+            elif c_op is Op.DUP:
+                ra = self._use(method, cslot(sp - 1), REG_TMP0, protos)
+                rd = self._dst(cslot(sp))
+                protos.append(_Proto(NCat.IALU, dst=rd, src1=ra))
+                sp += 1
+            elif c_op is Op.POP:
+                sp -= 1
+            elif c_kind == "return":
+                if c_op is not Op.RETURN:
+                    rs = self._use(method, cslot(sp - 1), REG_TMP0, protos)
+                    rd = self._dst(args_base)   # result replaces the args
+                    protos.append(_Proto(NCat.IALU, dst=rd, src1=rs))
+                    self._def(method, args_base, rd, protos)
+                break
+            elif c_op is Op.NOP:
+                pass
+            else:  # pragma: no cover - is_inlinable filters these out
+                return None
+
+        return InlineSite(target, dyn_offsets), protos
+
+    def _inline_field_off(self, target, c_instr) -> int:
+        owner, fname = self.loader.resolve_field(target.jclass, c_instr.a)
+        return owner.field_offsets[fname]
+
+    # ------------------------------------------------------------------
+    # materialization
+    # ------------------------------------------------------------------
+    def _materialize(self, name, protos, base_pc, chunk_pcs) -> Chunk:
+        """Turn protos into a pc-resolved Template wrapped in a Chunk."""
+        from ...native.template import PATCH
+
+        b = TemplateBuilder(name)
+        ea_plan: list[tuple[bool, int]] = []
+        any_frame_rel = False
+        for proto in protos:
+            ea = proto.ea
+            taken = proto.taken
+            target = proto.target
+            if ea == "dyn":
+                ea_arg = PATCH
+                ea_plan.append((False, 0))
+            elif isinstance(ea, tuple) and ea[0] == "frame":
+                ea_arg = PATCH
+                ea_plan.append((True, ea[1]))
+                any_frame_rel = True
+            elif isinstance(ea, tuple) and ea[0] == "abs":
+                ea_arg = ea[1]
+            else:
+                ea_arg = None
+
+            taken_arg = PATCH if taken == "dyn" else taken
+            if target == "dyn":
+                target_arg = PATCH
+            elif isinstance(target, tuple) and target[0] == "chunk":
+                target_arg = chunk_pcs[target[1]]
+            elif isinstance(target, tuple) and target[0] == "abs":
+                target_arg = target[1]
+            else:
+                target_arg = None
+
+            b.instr(proto.cat, dst=proto.dst, src1=proto.src1,
+                    src2=proto.src2, ea=ea_arg, taken=taken_arg,
+                    target=target_arg)
+        template = b.build(base_pc=base_pc)
+        return Chunk(template, ea_plan if any_frame_rel else None)

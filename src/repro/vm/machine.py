@@ -1,0 +1,367 @@
+"""The Java virtual machine: scheduler, runtime services, results.
+
+``JavaVM`` ties everything together: it loads a :class:`Program`
+(linking in the runtime library), runs its ``main`` on a green-thread
+scheduler, services allocation / synchronization / compilation requests
+from the stepper, and produces a :class:`VMResult` with the cycle,
+memory, synchronization and (optionally) full-trace observations that
+the experiment harness consumes.
+"""
+
+from __future__ import annotations
+
+from ..isa.method import Method, Program
+from ..native.layout import WORD_BYTES
+from ..native.trace import CountingSink, RecordingSink, Trace
+from ..sync.monitor_cache import MonitorCacheLockManager
+from .classloader import ClassLoader
+from .heap import Heap
+from .interp_templates import shared_templates
+from .interpreter import Interpreter, VMError
+from .jit.compiler import CodeCache, JITCompiler
+from .jit.inline import ClassHierarchy
+from .objects import JObject, JString
+from .profiler import Profiler
+from .stubs import shared_stubs
+from .strategy import CompileOnFirstUse, InterpretOnly, Strategy
+from .threads import (
+    BLOCKED,
+    EMIT_COMPILED,
+    EMIT_INTERP,
+    FINISHED,
+    JThread,
+    RUNNABLE,
+    WAITING,
+)
+
+
+class DeadlockError(Exception):
+    """All live threads are blocked on monitors/joins."""
+
+
+class ExecutionLimitExceeded(Exception):
+    """The bytecode budget ran out (runaway workload guard)."""
+
+
+class VMResult:
+    """Everything observed in one VM run."""
+
+    def __init__(self, vm: "JavaVM") -> None:
+        sink = vm.sink
+        self.program_name = vm.program.name
+        self.strategy = vm.strategy.name
+        self.cycles = sink.cycles
+        self.instructions = sink.instructions
+        self.translate_cycles = sink.translate_cycles
+        self.category_counts = sink.cat_counts.copy()
+        self.bytecodes_executed = sum(t.bytecodes_executed for t in vm.threads)
+        self.methods_compiled = vm.jit.methods_compiled
+        self.inlined_sites = vm.jit.inlined_sites
+        self.sync = vm.lock_manager.stats.snapshot()
+        self.sync_cycles = vm.lock_manager.stats.cycles
+        self.heap = vm.heap.stats.snapshot()
+        self.profiles = vm.profiler.snapshot() if vm.profiler else {}
+        self.opcode_counts = vm.opcode_counts.copy()
+        self.footprint = vm.footprint()
+        self.stdout = list(vm.stdout)
+        self.classes_loaded = vm.loader.classes_loaded
+        if hasattr(sink, "flush"):
+            sink.flush()
+        self.folded_bytecodes = getattr(sink, "folded_bytecodes", 0)
+        self.trace: Trace | None = (
+            sink.trace() if getattr(sink, "records", False) else None
+        )
+
+    @property
+    def execute_cycles(self) -> int:
+        """Non-translate cycles (the 'execute' bar of Figure 1)."""
+        return self.cycles - self.translate_cycles
+
+    def __repr__(self) -> str:
+        return (
+            f"VMResult({self.program_name}/{self.strategy}, "
+            f"cycles={self.cycles}, translate={self.translate_cycles}, "
+            f"bytecodes={self.bytecodes_executed})"
+        )
+
+
+class JavaVM:
+    """One virtual machine instance executing one program."""
+
+    #: Sentinel a native method returns when it must block and retry.
+    NATIVE_BLOCKED = object()
+
+    def __init__(
+        self,
+        program: Program,
+        strategy: Strategy | None = None,
+        lock_manager=None,
+        record: bool = False,
+        heap_limit: int = 64 << 20,
+        quantum: int = 60,
+        profile: bool = True,
+        inline: bool = True,
+        max_bytecodes: int = 80_000_000,
+        spawn_daemons: bool = True,
+        folding: bool = False,
+    ) -> None:
+        from .library import ensure_library  # local import: cycle avoidance
+
+        JThread.reset_ids()
+        self.program = program
+        ensure_library(program)
+        self.strategy = strategy or CompileOnFirstUse()
+        self.sink = RecordingSink() if record else CountingSink()
+        self.stubs = shared_stubs()
+        self.templates = shared_templates()
+        self.folding = folding
+        if folding:
+            from .folding import FoldingSink
+            self.sink = FoldingSink(self.sink, self.templates)
+        self.loader = ClassLoader(program, self.stubs, self.sink)
+        self.heap = Heap(limit_bytes=heap_limit)
+        self.heap.root_provider = self._gc_roots
+        self.lock_manager = lock_manager or MonitorCacheLockManager()
+        self.hierarchy = ClassHierarchy(program)
+        self.code_cache = CodeCache()
+        self.jit = JITCompiler(self.loader, self.code_cache, self.sink,
+                               self.hierarchy, inline=inline)
+        self.profiler = Profiler() if profile else None
+        self.interp = Interpreter(self)
+        self.quantum = quantum
+        self.max_bytecodes = max_bytecodes
+        self.spawn_daemons = spawn_daemons
+
+        import numpy as _np
+        from ..isa.opcodes import N_OPCODES as _N_OPS
+        #: dynamic bytecode-frequency histogram (locality studies)
+        self.opcode_counts = _np.zeros(_N_OPS, dtype=_np.int64)
+        self.threads: list[JThread] = []
+        self.stdout: list[str] = []
+        self._interned: dict[str, JString] = {}
+        self._compiled: dict[int, object] = {}   # method_id -> CompiledMethod
+        self._translate_overhead = 0
+        self._booted = False
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # overhead accounting (excluded from per-method attribution)
+    # ------------------------------------------------------------------
+    @property
+    def overhead_cycles(self) -> int:
+        return self._translate_overhead + self.loader.overhead_cycles
+
+    # ------------------------------------------------------------------
+    # boot and scheduling
+    # ------------------------------------------------------------------
+    def boot(self) -> None:
+        if self._booted:
+            return
+        self._booted = True
+        from .library import boot_library
+        self.object_class = self.loader.ensure_loaded("java/lang/Object")
+        self.string_class = self.loader.ensure_loaded("java/lang/String")
+        boot_library(self)
+        self.loader.ensure_loaded(self.program.main_class)
+
+        main_thread = JThread("main")
+        self.threads.append(main_thread)
+        main = self.program.entry_method
+        if main.is_native or not main.is_static:
+            raise VMError("main must be a static bytecode method")
+        self._push_entry(main_thread, main)
+
+        if self.spawn_daemons and "repro/Finalizer" in self.program.classes:
+            for name in ("repro/Finalizer", "repro/RefCleaner"):
+                cls = self.loader.ensure_loaded(name)
+                obj = self.heap.new_object(cls)
+                t = JThread(name.split("/")[-1].lower(), daemon=True)
+                t.java_obj = obj
+                run = cls.find_method("run")
+                self.threads.append(t)
+                if self.profiler:
+                    self.profiler.count_invocation(run)
+                frame = t.push_frame(run)
+                frame.locals[0] = obj
+                self._set_entry_mode(frame, run)
+
+    def _push_entry(self, thread: JThread, method: Method, receiver=None):
+        if self.profiler:
+            self.profiler.count_invocation(method)
+        frame = thread.push_frame(method)
+        if receiver is not None:
+            frame.locals[0] = receiver
+        self._set_entry_mode(frame, method)
+        return frame
+
+    def _set_entry_mode(self, frame, method) -> None:
+        compiled = self.prepare_method(method, count=False)
+        if compiled is not None:
+            frame.emit_mode = EMIT_COMPILED
+            frame.chunks = compiled.chunks
+            frame.compiled = compiled
+            compiled.prologue.emit(self.sink, frame)
+        else:
+            frame.emit_mode = EMIT_INTERP
+        frame.return_pc = self.templates.dispatch_pc
+
+    def run(self, max_bytecodes: int | None = None) -> VMResult:
+        """Execute to completion and return the results."""
+        self.boot()
+        budget = max_bytecodes or self.max_bytecodes
+        executed_total = 0
+        while True:
+            runnable = [t for t in self.threads if t.state == RUNNABLE]
+            if not runnable:
+                live = [t for t in self.threads if t.state != FINISHED]
+                if not live or all(t.daemon for t in live):
+                    break
+                raise DeadlockError(
+                    f"all threads blocked: "
+                    f"{[(t.name, t.state) for t in live]}"
+                )
+            quantum = self.quantum if len(runnable) > 1 else 100_000
+            for thread in runnable:
+                if thread.state != RUNNABLE:
+                    continue
+                executed_total += self.interp.step(thread, quantum)
+                if executed_total > budget:
+                    raise ExecutionLimitExceeded(
+                        f"{executed_total} bytecodes exceed the budget {budget}"
+                    )
+        self._finished = True
+        return VMResult(self)
+
+    def finish_thread(self, thread: JThread) -> None:
+        thread.state = FINISHED
+        for waiter in thread.joined_by:
+            if waiter.state == WAITING:
+                waiter.state = RUNNABLE
+        thread.joined_by.clear()
+
+    def spawn_thread(self, java_obj: JObject) -> JThread:
+        """Implements Thread.start()."""
+        run = java_obj.jclass.find_method("run")
+        if run is None or run.is_native:
+            raise VMError(f"{java_obj.jclass.name} has no bytecode run()")
+        thread = JThread(java_obj.jclass.name)
+        thread.java_obj = java_obj
+        java_obj.fields["_tid"] = thread.thread_id
+        self.threads.append(thread)
+        frame = thread.push_frame(run)
+        frame.locals[0] = java_obj
+        if self.profiler:
+            self.profiler.count_invocation(run)
+        self._set_entry_mode(frame, run)
+        return thread
+
+    def thread_for(self, java_obj: JObject) -> JThread | None:
+        for t in self.threads:
+            if t.java_obj is java_obj:
+                return t
+        return None
+
+    # ------------------------------------------------------------------
+    # compilation service
+    # ------------------------------------------------------------------
+    def prepare_method(self, method: Method, count: bool = True):
+        """Count the invocation and compile if the strategy says so.
+
+        Returns the :class:`CompiledMethod` if the method is (now)
+        compiled, else ``None``.
+        """
+        n = self.profiler.count_invocation(method) if (
+            self.profiler and count
+        ) else 1
+        compiled = self._compiled.get(method.method_id)
+        if compiled is not None:
+            return compiled
+        if method.is_native:
+            return None
+        if self.strategy.should_compile(method, n):
+            compiled = self.jit.compile(method)
+            self._compiled[method.method_id] = compiled
+            self._translate_overhead += compiled.translate_cycles
+            if self.profiler:
+                self.profiler.note_translate(method, compiled.translate_cycles)
+            return compiled
+        return None
+
+    # ------------------------------------------------------------------
+    # synchronization service
+    # ------------------------------------------------------------------
+    def monitor_enter(self, thread: JThread, obj) -> bool:
+        acquired, _case = self.lock_manager.acquire(
+            thread.thread_id, obj, self.sink
+        )
+        if not acquired:
+            thread.state = BLOCKED
+            thread.blocked_on = obj
+        return acquired
+
+    def monitor_exit(self, thread: JThread, obj) -> None:
+        self.lock_manager.release(thread.thread_id, obj, self.sink)
+        if obj.lock is not None and obj.lock.count == 0:
+            for t in self.threads:
+                if t.state == BLOCKED and t.blocked_on is obj:
+                    t.state = RUNNABLE
+                    t.blocked_on = None
+
+    # ------------------------------------------------------------------
+    # heap / string services
+    # ------------------------------------------------------------------
+    def intern_string(self, value: str) -> JString:
+        s = self._interned.get(value)
+        if s is None:
+            s = self.heap.new_string(value)
+            self._interned[value] = s
+        return s
+
+    def _gc_roots(self):
+        for thread in self.threads:
+            for frame in thread.frames:
+                yield from frame.stack
+                yield from frame.locals
+            if thread.java_obj is not None:
+                yield thread.java_obj
+        for cls in self.program.classes.values():
+            if cls.loaded:
+                yield from cls.statics.values()
+        yield from self._interned.values()
+
+    # ------------------------------------------------------------------
+    # memory footprint (Table 1)
+    # ------------------------------------------------------------------
+    def footprint(self) -> dict:
+        """Byte sizes of the runtime's memory components."""
+        stack_bytes = sum(
+            sum(f.size_bytes for f in t.frames) for t in self.threads
+        )
+        # Peak stack use is better approximated by frames high-water; use
+        # a simple proxy: deepest live frames + per-thread minimum.
+        components = {
+            "vm_metadata": self.loader.metadata_bytes,
+            "bytecode": self.loader.bytecode_bytes,
+            "heap_peak": self.heap.stats.peak_live_bytes,
+            "stacks": max(stack_bytes, 2048 * max(1, len(self.threads))),
+            "interp_text": self.templates.text_bytes,
+            "vm_text": self.stubs.text_bytes,
+            "jumptable": 4 * 220,
+            "code_cache": self.code_cache.used_bytes,
+            "jit_text": self.jit.stubs.text_bytes if self.jit.methods_compiled else 0,
+            "jit_work": self.jit.peak_work_bytes,
+        }
+        components["interpreter_total"] = (
+            components["vm_metadata"] + components["bytecode"]
+            + components["heap_peak"] + components["stacks"]
+            + components["interp_text"] + components["vm_text"]
+            + components["jumptable"]
+        )
+        # The translator's text is part of the VM binary (as the
+        # interpreter's text is); the *per-application* JIT overhead is
+        # the installed code plus the compiler's working storage.
+        components["jit_total"] = (
+            components["interpreter_total"] + components["code_cache"]
+            + components["jit_work"]
+        )
+        return components

@@ -1,0 +1,101 @@
+"""Per-method run-time profiling.
+
+Collects, per method: invocation count ``n_i``, cycles spent
+interpreting (``I``-bucket), cycles executing compiled code
+(``E``-bucket) and translate cost ``T_i`` — the quantities the paper's
+oracle ("opt") model is built from (Section 3):
+
+    ``N_i = T_i / (I_i - E_i)`` — compile iff ``n_i > N_i``.
+"""
+
+from __future__ import annotations
+
+from .threads import EMIT_INTERP
+
+
+class MethodProfile:
+    """Profile counters for one method."""
+
+    __slots__ = (
+        "qualified_name",
+        "invocations",
+        "interp_cycles",
+        "compiled_cycles",
+        "translate_cycles",
+        "was_compiled",
+        "is_native",
+    )
+
+    def __init__(self, qualified_name: str, is_native: bool = False) -> None:
+        self.qualified_name = qualified_name
+        self.invocations = 0
+        self.interp_cycles = 0
+        self.compiled_cycles = 0
+        self.translate_cycles = 0
+        self.was_compiled = False
+        self.is_native = is_native
+
+    @property
+    def interp_per_invocation(self) -> float:
+        """Mean interpret cost per invocation (``I_i``)."""
+        return self.interp_cycles / self.invocations if self.invocations else 0.0
+
+    @property
+    def exec_per_invocation(self) -> float:
+        """Mean compiled-execution cost per invocation (``E_i``)."""
+        return self.compiled_cycles / self.invocations if self.invocations else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.qualified_name,
+            "invocations": self.invocations,
+            "interp_cycles": self.interp_cycles,
+            "compiled_cycles": self.compiled_cycles,
+            "translate_cycles": self.translate_cycles,
+            "was_compiled": self.was_compiled,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MethodProfile({self.qualified_name}, n={self.invocations}, "
+            f"I={self.interp_cycles}, E={self.compiled_cycles}, "
+            f"T={self.translate_cycles})"
+        )
+
+
+class Profiler:
+    """Aggregates :class:`MethodProfile` objects for one VM run."""
+
+    def __init__(self) -> None:
+        self.profiles: dict[str, MethodProfile] = {}
+
+    def profile_for(self, method) -> MethodProfile:
+        key = method.qualified_name
+        p = self.profiles.get(key)
+        if p is None:
+            p = MethodProfile(key, method.is_native)
+            self.profiles[key] = p
+        return p
+
+    def count_invocation(self, method) -> int:
+        p = self.profile_for(method)
+        p.invocations += 1
+        return p.invocations
+
+    def charge(self, frame, cycles: int) -> None:
+        """Attribute cycles from one executed bytecode to its method."""
+        if cycles <= 0:
+            return
+        p = self.profile_for(frame.method)
+        if frame.emit_mode == EMIT_INTERP:
+            p.interp_cycles += cycles
+        else:
+            p.compiled_cycles += cycles
+
+    def note_translate(self, method, cycles: int) -> None:
+        p = self.profile_for(method)
+        p.translate_cycles += cycles
+        p.was_compiled = True
+
+    def snapshot(self) -> dict[str, dict]:
+        return {k: p.snapshot() for k, p in self.profiles.items()}

@@ -1,0 +1,79 @@
+"""Compilation strategies: when (or whether) to translate a method.
+
+The paper's Section 3 compares:
+
+- interpret-only (``InterpretOnly``),
+- Kaffe's default of compiling every method on its first invocation
+  (``CompileOnFirstUse``),
+- an idealized oracle that compiles exactly the methods for which
+  translation pays off (``OracleStrategy``; decisions are produced by
+  :mod:`repro.analysis.hybrid` from profiling runs),
+- and, as an ablation, a HotSpot-style invocation-counter threshold
+  (``CounterThreshold``).
+"""
+
+from __future__ import annotations
+
+
+class Strategy:
+    """Decides, per invocation, whether a method should now be compiled."""
+
+    name = "abstract"
+
+    def should_compile(self, method, invocation_count: int) -> bool:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class InterpretOnly(Strategy):
+    """Never compile — a pure interpreter (JDK/Kaffe -nojit)."""
+
+    name = "interp"
+
+    def should_compile(self, method, invocation_count: int) -> bool:
+        return False
+
+
+class CompileOnFirstUse(Strategy):
+    """Kaffe's default JIT policy: translate on first invocation."""
+
+    name = "jit"
+
+    def should_compile(self, method, invocation_count: int) -> bool:
+        return True
+
+
+class CounterThreshold(Strategy):
+    """Interpret the first ``threshold - 1`` invocations, then compile."""
+
+    name = "counter"
+
+    def __init__(self, threshold: int = 2) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+
+    def should_compile(self, method, invocation_count: int) -> bool:
+        return invocation_count >= self.threshold
+
+    def __repr__(self) -> str:
+        return f"CounterThreshold({self.threshold})"
+
+
+class OracleStrategy(Strategy):
+    """The paper's ``opt`` model: a supplied set of methods (chosen with
+    perfect knowledge of ``n_i`` and ``N_i``) is compiled on first use;
+    everything else is always interpreted."""
+
+    name = "oracle"
+
+    def __init__(self, compile_set: set[str]) -> None:
+        self.compile_set = frozenset(compile_set)
+
+    def should_compile(self, method, invocation_count: int) -> bool:
+        return method.qualified_name in self.compile_set
+
+    def __repr__(self) -> str:
+        return f"OracleStrategy({len(self.compile_set)} methods)"

@@ -1,0 +1,31 @@
+"""Workloads: SpecJVM98-like programs and native reference generators."""
+
+from .base import (
+    FIG1_BENCHMARKS,
+    SCALES,
+    SPEC_BENCHMARKS,
+    Workload,
+    all_workloads,
+    get_workload,
+)
+from .native_reference import (
+    C_PROFILE,
+    CPP_PROFILE,
+    PROFILES,
+    ReferenceProfile,
+    generate_reference_trace,
+)
+
+__all__ = [
+    "C_PROFILE",
+    "CPP_PROFILE",
+    "FIG1_BENCHMARKS",
+    "PROFILES",
+    "ReferenceProfile",
+    "SCALES",
+    "SPEC_BENCHMARKS",
+    "Workload",
+    "all_workloads",
+    "generate_reference_trace",
+    "get_workload",
+]

@@ -1,0 +1,3 @@
+"""SpecJVM98-like synthetic benchmark programs (registered on import)."""
+
+from . import compress, db, hello, jack, javac, jess, mpegaudio, mtrt  # noqa: F401

@@ -1,0 +1,189 @@
+"""``compress`` — LZW-style compression kernel.
+
+Character (per the paper): a small number of methods executed an
+enormous number of times; tight integer loops over a byte buffer;
+execution (not translation) dominates the JIT run; excellent
+interpreter-mode cache behaviour from the tiny working set.
+"""
+
+from __future__ import annotations
+
+from ...isa.builder import ProgramBuilder
+from ...isa.method import Program
+from ...isa.opcodes import ArrayType
+from ..base import register
+
+#: (input bytes, passes) per scale.
+_PARAMS = {"s0": (128, 1), "s1": (768, 2), "s10": (4096, 4)}
+
+#: Hash-table size (power of two) and output ring size.
+_TAB = 2048
+_OUT = 1024
+
+
+@register("compress", "LZW-style compression: tight loops, heavy method reuse")
+def build(scale: str = "s1") -> Program:
+    n, passes = _PARAMS[scale]
+    pb = ProgramBuilder("compress", main_class="spec/Compress")
+
+    comp = pb.cls("spec/Compressor")
+    comp.field("hashes", "ref")
+    comp.field("codes", "ref")
+    comp.field("out", "ref")
+    comp.field("outCount", "int")
+    comp.field("nextCode", "int")
+
+    init = comp.method("<init>")
+    init.aload(0).iconst(_TAB).newarray(ArrayType.INT)
+    init.putfield("spec/Compressor", "hashes")
+    init.aload(0).iconst(_TAB).newarray(ArrayType.INT)
+    init.putfield("spec/Compressor", "codes")
+    init.aload(0).iconst(_OUT).newarray(ArrayType.INT)
+    init.putfield("spec/Compressor", "out")
+    init.aload(0).iconst(0).putfield("spec/Compressor", "outCount")
+    init.return_()
+
+    # void reset(): clear the hash table, reset counters.
+    reset = comp.method("reset")
+    loop = reset.new_label("loop")
+    done = reset.new_label("done")
+    reset.iconst(0).istore(1)
+    reset.bind(loop)
+    reset.iload(1).iconst(_TAB).if_icmpge(done)
+    reset.aload(0).getfield("spec/Compressor", "hashes")
+    reset.iload(1).iconst(-1).iastore()
+    reset.iinc(1, 1)
+    reset.goto(loop)
+    reset.bind(done)
+    reset.aload(0).iconst(256).putfield("spec/Compressor", "nextCode")
+    reset.aload(0).iconst(0).putfield("spec/Compressor", "outCount")
+    reset.return_()
+
+    # int findEntry(int w, int ch): open-addressing probe; -1 if absent.
+    find = comp.method("findEntry", argc=2, returns=True)
+    probe = find.new_label("probe")
+    found = find.new_label("found")
+    absent = find.new_label("absent")
+    step = find.new_label("step")
+    find.iload(1).iconst(8).ishl().iload(2).ior().istore(3)      # key
+    find.iload(3).iconst(_TAB - 1).iand().istore(4)              # h
+    find.bind(probe)
+    find.aload(0).getfield("spec/Compressor", "hashes")
+    find.iload(4).iaload().istore(5)                             # k
+    find.iload(5).iconst(-1).if_icmpeq(absent)
+    find.iload(5).iload(3).if_icmpeq(found)
+    find.bind(step)
+    find.iinc(4, 1)
+    find.iload(4).iconst(_TAB - 1).iand().istore(4)
+    find.goto(probe)
+    find.bind(found)
+    find.iload(4).ireturn()
+    find.bind(absent)
+    find.iconst(-1).ireturn()
+
+    # void addEntry(int w, int ch)
+    add = comp.method("addEntry", argc=2)
+    probe = add.new_label("probe")
+    empty = add.new_label("empty")
+    add.iload(1).iconst(8).ishl().iload(2).ior().istore(3)
+    add.iload(3).iconst(_TAB - 1).iand().istore(4)
+    add.bind(probe)
+    add.aload(0).getfield("spec/Compressor", "hashes")
+    add.iload(4).iaload().iconst(-1).if_icmpeq(empty)
+    add.iinc(4, 1)
+    add.iload(4).iconst(_TAB - 1).iand().istore(4)
+    add.goto(probe)
+    add.bind(empty)
+    add.aload(0).getfield("spec/Compressor", "hashes")
+    add.iload(4).iload(3).iastore()
+    add.aload(0).getfield("spec/Compressor", "codes")
+    add.iload(4)
+    add.aload(0).getfield("spec/Compressor", "nextCode").iastore()
+    add.aload(0).dup().getfield("spec/Compressor", "nextCode")
+    add.iconst(1).iadd().putfield("spec/Compressor", "nextCode")
+    add.return_()
+
+    # void emit(int code): write into the output ring.
+    emit = comp.method("emit", argc=1)
+    emit.aload(0).getfield("spec/Compressor", "out")
+    emit.aload(0).getfield("spec/Compressor", "outCount")
+    emit.iconst(_OUT - 1).iand()
+    emit.iload(1).iastore()
+    emit.aload(0).dup().getfield("spec/Compressor", "outCount")
+    emit.iconst(1).iadd().putfield("spec/Compressor", "outCount")
+    emit.return_()
+
+    # int getCount() — a tiny accessor (JIT inlining fodder).
+    count = comp.method("getCount", returns=True)
+    count.aload(0).getfield("spec/Compressor", "outCount").ireturn()
+
+    # int compress(byte[] data)
+    cp = comp.method("compress", argc=1, returns=True)
+    loop = cp.new_label("loop")
+    end = cp.new_label("end")
+    miss = cp.new_label("miss")
+    nxt = cp.new_label("next")
+    cp.aload(0).invokevirtual("spec/Compressor", "reset", 0, False)
+    cp.aload(1).iconst(0).baload().istore(2)                 # w = data[0]
+    cp.iconst(1).istore(3)                                   # i = 1
+    cp.bind(loop)
+    cp.iload(3).aload(1).arraylength().if_icmpge(end)
+    cp.aload(1).iload(3).baload().istore(4)                  # ch
+    cp.aload(0).iload(2).iload(4)
+    cp.invokevirtual("spec/Compressor", "findEntry", 2, True)
+    cp.istore(5)
+    cp.iload(5).iflt(miss)
+    cp.aload(0).getfield("spec/Compressor", "codes")
+    cp.iload(5).iaload().istore(2)                           # w = codes[idx]
+    cp.goto(nxt)
+    cp.bind(miss)
+    cp.aload(0).iload(2).iload(4)
+    cp.invokevirtual("spec/Compressor", "addEntry", 2, False)
+    cp.aload(0).iload(2).invokevirtual("spec/Compressor", "emit", 1, False)
+    cp.iload(4).istore(2)                                    # w = ch
+    cp.bind(nxt)
+    cp.iinc(3, 1)
+    cp.goto(loop)
+    cp.bind(end)
+    cp.aload(0).iload(2).invokevirtual("spec/Compressor", "emit", 1, False)
+    cp.aload(0).invokevirtual("spec/Compressor", "getCount", 0, True)
+    cp.ireturn()
+
+    main_cls = pb.cls("spec/Compress")
+    m = main_cls.method("main", static=True)
+    # locals: 0=data 1=i/k 2=total 3=compressor 4=rnd
+    fill = m.new_label("fill")
+    fill_done = m.new_label("fill_done")
+    runs = m.new_label("runs")
+    runs_done = m.new_label("runs_done")
+    m.new("java/util/Random").dup().iconst(42)
+    m.invokespecial("java/util/Random", "<init>", 1)
+    m.astore(4)
+    m.iconst(n).newarray(ArrayType.BYTE).astore(0)
+    m.iconst(0).istore(1)
+    m.bind(fill)
+    m.iload(1).aload(0).arraylength().if_icmpge(fill_done)
+    m.aload(0).iload(1)
+    m.aload(4).iconst(64).invokevirtual("java/util/Random", "nextInt", 1, True)
+    m.iconst(32).iadd().i2b().bastore()
+    m.iinc(1, 1)
+    m.goto(fill)
+    m.bind(fill_done)
+    m.new("spec/Compressor").dup()
+    m.invokespecial("spec/Compressor", "<init>", 0)
+    m.astore(3)
+    m.iconst(0).istore(2)
+    m.iconst(0).istore(1)
+    m.bind(runs)
+    m.iload(1).iconst(passes).if_icmpge(runs_done)
+    m.iload(2)
+    m.aload(3).aload(0).invokevirtual("spec/Compressor", "compress", 1, True)
+    m.iadd().istore(2)
+    m.iinc(1, 1)
+    m.goto(runs)
+    m.bind(runs_done)
+    m.getstatic("java/lang/System", "out").iload(2)
+    m.invokevirtual("java/io/PrintStream", "printlnInt", 1, False)
+    m.return_()
+
+    return pb.build()

@@ -1,0 +1,223 @@
+"""``db`` — small in-memory database.
+
+Character (per the paper): many small methods that are "neither time
+consuming nor invoked numerous times", so JIT *translation* dominates
+the run; a small database reused by repeated operations gives good data
+locality outside translate; the memory footprint is small, making the
+JIT's code-cache overhead proportionally large (Table 1).
+"""
+
+from __future__ import annotations
+
+from ...isa.builder import ProgramBuilder
+from ...isa.method import Program
+from ...isa.opcodes import ArrayType
+from ..base import register
+
+#: (records, operations, one-shot setup methods) per scale.
+_PARAMS = {"s0": (24, 6, 10), "s1": (48, 110, 24), "s10": (128, 400, 32)}
+
+
+@register("db", "in-memory database: many rarely-invoked small methods")
+def build(scale: str = "s1") -> Program:
+    n_records, n_ops, n_setup = _PARAMS[scale]
+    pb = ProgramBuilder("db", main_class="spec/Db")
+
+    # ------------------------------------------------------------------
+    # Record: name/value pair with tiny accessors (inline fodder).
+    # ------------------------------------------------------------------
+    rec = pb.cls("spec/Record")
+    rec.field("key", "int")
+    rec.field("value", "int")
+    rec.field("payload", "ref")
+    init = rec.method("<init>", argc=2)
+    init.aload(0).iload(1).putfield("spec/Record", "key")
+    init.aload(0).iload(2).putfield("spec/Record", "value")
+    # Each record carries a data payload (the database's actual content).
+    init.aload(0).iconst(56).newarray(ArrayType.INT)
+    init.putfield("spec/Record", "payload")
+    init.aload(0).getfield("spec/Record", "payload")
+    init.iconst(0).iload(1).iastore()
+    init.aload(0).getfield("spec/Record", "payload")
+    init.iconst(1).iload(2).iastore()
+    init.return_()
+    get_key = rec.method("getKey", returns=True)
+    get_key.aload(0).getfield("spec/Record", "key").ireturn()
+    get_val = rec.method("getValue", returns=True)
+    get_val.aload(0).getfield("spec/Record", "value").ireturn()
+    set_val = rec.method("setValue", argc=1)
+    set_val.aload(0).iload(1).putfield("spec/Record", "value")
+    set_val.return_()
+
+    # ------------------------------------------------------------------
+    # Database over a Vector of records.
+    # ------------------------------------------------------------------
+    db = pb.cls("spec/Database")
+    db.field("records", "ref")
+
+    init = db.method("<init>")
+    init.aload(0)
+    init.new("java/util/Vector").dup().iconst(16)
+    init.invokespecial("java/util/Vector", "<init>", 1)
+    init.putfield("spec/Database", "records")
+    init.return_()
+
+    # void add(int key, int value)
+    add = db.method("add", argc=2)
+    add.aload(0).getfield("spec/Database", "records")
+    add.new("spec/Record").dup().iload(1).iload(2)
+    add.invokespecial("spec/Record", "<init>", 2)
+    add.invokevirtual("java/util/Vector", "addElement", 1, False)
+    add.return_()
+
+    # int find(int key): linear scan over a locked-once snapshot
+    find = db.method("find", argc=1, returns=True)
+    loop = find.new_label("loop")
+    found = find.new_label("found")
+    absent = find.new_label("absent")
+    find.aload(0).getfield("spec/Database", "records")
+    find.invokevirtual("java/util/Vector", "size", 0, True).istore(4)
+    find.aload(0).getfield("spec/Database", "records")
+    find.invokevirtual("java/util/Vector", "elems", 0, True).astore(5)
+    find.iconst(0).istore(2)
+    find.bind(loop)
+    find.iload(2).iload(4).if_icmpge(absent)
+    find.aload(5).iload(2).aaload()
+    find.checkcast("spec/Record").astore(3)
+    find.aload(3).invokevirtual("spec/Record", "getKey", 0, True)
+    find.iload(1).if_icmpeq(found)
+    find.iinc(2, 1)
+    find.goto(loop)
+    find.bind(found)
+    find.aload(3).invokevirtual("spec/Record", "getValue", 0, True)
+    find.ireturn()
+    find.bind(absent)
+    find.iconst(-1).ireturn()
+
+    # void update(int key, int delta)
+    upd = db.method("update", argc=2)
+    loop = upd.new_label("loop")
+    done = upd.new_label("done")
+    hit = upd.new_label("hit")
+    upd.aload(0).getfield("spec/Database", "records")
+    upd.invokevirtual("java/util/Vector", "size", 0, True).istore(5)
+    upd.aload(0).getfield("spec/Database", "records")
+    upd.invokevirtual("java/util/Vector", "elems", 0, True).astore(6)
+    upd.iconst(0).istore(3)
+    upd.bind(loop)
+    upd.iload(3).iload(5).if_icmpge(done)
+    upd.aload(6).iload(3).aaload()
+    upd.checkcast("spec/Record").astore(4)
+    upd.aload(4).invokevirtual("spec/Record", "getKey", 0, True)
+    upd.iload(1).if_icmpeq(hit)
+    upd.iinc(3, 1)
+    upd.goto(loop)
+    upd.bind(hit)
+    upd.aload(4)
+    upd.aload(4).invokevirtual("spec/Record", "getValue", 0, True)
+    upd.iload(2).iadd()
+    upd.invokevirtual("spec/Record", "setValue", 1, False)
+    upd.bind(done)
+    upd.return_()
+
+    # int checksum(): sum of key*31+value
+    ck = db.method("checksum", returns=True)
+    loop = ck.new_label("loop")
+    done = ck.new_label("done")
+    ck.aload(0).getfield("spec/Database", "records")
+    ck.invokevirtual("java/util/Vector", "size", 0, True).istore(4)
+    ck.aload(0).getfield("spec/Database", "records")
+    ck.invokevirtual("java/util/Vector", "elems", 0, True).astore(5)
+    ck.iconst(0).istore(1)     # acc
+    ck.iconst(0).istore(2)     # i
+    ck.bind(loop)
+    ck.iload(2).iload(4).if_icmpge(done)
+    ck.aload(5).iload(2).aaload()
+    ck.checkcast("spec/Record").astore(3)
+    ck.iload(1).iconst(31).imul()
+    ck.aload(3).invokevirtual("spec/Record", "getValue", 0, True)
+    ck.iadd().iconst(0xFFFFF).iand().istore(1)
+    ck.iinc(2, 1)
+    ck.goto(loop)
+    ck.bind(done)
+    ck.iload(1).ireturn()
+
+    # ------------------------------------------------------------------
+    # Main plus a battery of one-shot setup methods (the db/javac
+    # translation-dominated profile: code compiled but barely reused).
+    # ------------------------------------------------------------------
+    main_cls = pb.cls("spec/Db")
+    for k in range(n_setup):
+        setup = main_cls.method(f"setup{k}", argc=2, returns=True, static=True)
+        # A short, distinct computation per method.
+        setup.iload(0).iconst(k + 3).imul()
+        setup.iload(1).iconst(k + 1).ishl().iadd()
+        setup.iconst(0x7FFF).iand()
+        loop = setup.new_label("loop")
+        done = setup.new_label("done")
+        setup.istore(2)
+        setup.iconst(k % 7).istore(3)
+        setup.bind(loop)
+        setup.iload(3).ifle(done)
+        setup.iload(2).iconst(3).ishr().iload(2).ixor().istore(2)
+        setup.iinc(3, -1)
+        setup.goto(loop)
+        setup.bind(done)
+        setup.iload(2).ireturn()
+
+    m = main_cls.method("main", static=True)
+    # locals: 0=db 1=i 2=acc 3=rnd
+    m.new("spec/Database").dup()
+    m.invokespecial("spec/Database", "<init>", 0)
+    m.astore(0)
+    m.new("java/util/Random").dup().iconst(7)
+    m.invokespecial("java/util/Random", "<init>", 1)
+    m.astore(3)
+    m.iconst(0).istore(2)
+    # One-shot setup phase.
+    for k in range(n_setup):
+        m.iload(2).iconst(k).invokestatic("spec/Db", f"setup{k}", 2, True)
+        m.istore(2)
+    # Populate.
+    fill = m.new_label("fill")
+    fill_done = m.new_label("fill_done")
+    m.iconst(0).istore(1)
+    m.bind(fill)
+    m.iload(1).iconst(n_records).if_icmpge(fill_done)
+    m.aload(0).iload(1)
+    m.aload(3).iconst(997).invokevirtual("java/util/Random", "nextInt", 1, True)
+    m.invokevirtual("spec/Database", "add", 2, False)
+    m.iinc(1, 1)
+    m.goto(fill)
+    m.bind(fill_done)
+    # Operation mix: find / update alternating over random keys.
+    ops = m.new_label("ops")
+    ops_done = m.new_label("ops_done")
+    is_find = m.new_label("is_find")
+    next_op = m.new_label("next_op")
+    m.iconst(0).istore(1)
+    m.bind(ops)
+    m.iload(1).iconst(n_ops).if_icmpge(ops_done)
+    m.iload(1).iconst(3).irem().ifeq(is_find)
+    m.aload(0)
+    m.aload(3).iconst(n_records).invokevirtual("java/util/Random", "nextInt", 1, True)
+    m.iload(1).invokevirtual("spec/Database", "update", 2, False)
+    m.goto(next_op)
+    m.bind(is_find)
+    m.iload(2)
+    m.aload(0)
+    m.aload(3).iconst(n_records).invokevirtual("java/util/Random", "nextInt", 1, True)
+    m.invokevirtual("spec/Database", "find", 1, True)
+    m.iadd().iconst(0xFFFFF).iand().istore(2)
+    m.bind(next_op)
+    m.iinc(1, 1)
+    m.goto(ops)
+    m.bind(ops_done)
+    m.iload(2)
+    m.aload(0).invokevirtual("spec/Database", "checksum", 0, True)
+    m.iadd().istore(2)
+    m.getstatic("java/lang/System", "out").iload(2)
+    m.invokevirtual("java/io/PrintStream", "printlnInt", 1, False)
+    m.return_()
+
+    return pb.build()

@@ -1,0 +1,25 @@
+"""``hello`` — the minimal program.
+
+The paper includes HelloWorld "to observe the behavior of the JVM
+implementation while loading and resolving system classes during system
+initialization": class loading and translation dominate; almost nothing
+executes.
+"""
+
+from __future__ import annotations
+
+from ...isa.builder import ProgramBuilder
+from ...isa.method import Program
+from ..base import register
+
+
+@register("hello", "HelloWorld: class loading / translation dominate")
+def build(scale: str = "s1") -> Program:
+    pb = ProgramBuilder("hello", main_class="spec/Hello")
+    main_cls = pb.cls("spec/Hello")
+    m = main_cls.method("main", static=True)
+    m.getstatic("java/lang/System", "out")
+    m.ldc_str("Hello, world")
+    m.invokevirtual("java/io/PrintStream", "println", 1, False)
+    m.return_()
+    return pb.build()

@@ -1,0 +1,169 @@
+"""``jack`` — parser-generator-style repeated scanning.
+
+Character (per the paper): scans the same input many times looking for
+matching patterns; execution-dominated under the JIT; the heaviest user
+of synchronized library classes (StringBuffer / Hashtable), giving it
+the most monitor operations in the suite.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ...isa.builder import ProgramBuilder
+from ...isa.method import Program
+from ...isa.opcodes import ArrayType
+from ..base import register
+
+#: (grammar lines, passes) per scale.
+_PARAMS = {"s0": (4, 2), "s1": (14, 6), "s10": (40, 16)}
+
+
+def _gen_grammar(n_lines: int, seed: int = 5) -> str:
+    rng = random.Random(seed)
+    nts = [f"rule{k}" for k in range(6)]
+    ts = ["ident", "number", "lparen", "rparen", "semi", "comma"]
+    lines = []
+    for _ in range(n_lines):
+        lhs = rng.choice(nts)
+        rhs = " ".join(rng.choice(nts + ts) for _ in range(rng.randrange(2, 5)))
+        lines.append(f"{lhs} := {rhs} ;")
+    return " ".join(lines) + " "
+
+
+@register("jack", "repeated scanning with StringBuffer/Hashtable (sync heavy)")
+def build(scale: str = "s1") -> Program:
+    n_lines, passes = _PARAMS[scale]
+    text = _gen_grammar(n_lines)
+    pb = ProgramBuilder("jack", main_class="spec/Jack")
+
+    tk = pb.cls("spec/Tokenizer")
+    tk.field("src", "ref")
+    tk.field("table", "ref")       # Hashtable of token hash -> count
+
+    init = tk.method("<init>", argc=1)
+    init.aload(0).aload(1).putfield("spec/Tokenizer", "src")
+    init.aload(0)
+    init.new("java/util/Hashtable").dup()
+    init.invokespecial("java/util/Hashtable", "<init>", 0)
+    init.putfield("spec/Tokenizer", "table")
+    init.return_()
+
+    is_alpha = tk.method("isAlpha", argc=1, returns=True, static=True)
+    no = is_alpha.new_label("no")
+    is_alpha.iload(0).iconst(ord("a")).if_icmplt(no)
+    is_alpha.iload(0).iconst(ord("z")).if_icmpgt(no)
+    is_alpha.iconst(1).ireturn()
+    is_alpha.bind(no)
+    is_alpha.iconst(0).ireturn()
+
+    is_num = tk.method("isNum", argc=1, returns=True, static=True)
+    no = is_num.new_label("no")
+    is_num.iload(0).iconst(ord("0")).if_icmplt(no)
+    is_num.iload(0).iconst(ord("9")).if_icmpgt(no)
+    is_num.iconst(1).ireturn()
+    is_num.bind(no)
+    is_num.iconst(0).ireturn()
+
+    # int scanPass(): one full pass over the source
+    span = tk.method("scanPass", returns=True)
+    # locals: 0=this 1=pos 2=tokens 3=c 4=sb 5=hash 6=word(ref)
+    loop = span.new_label("loop")
+    done = span.new_label("done")
+    word = span.new_label("word")
+    word_loop = span.new_label("word_loop")
+    word_done = span.new_label("word_done")
+    other = span.new_label("other")
+    advance = span.new_label("advance")
+    span.iconst(0).istore(1)
+    span.iconst(0).istore(2)
+    span.bind(loop)
+    span.iload(1)
+    span.aload(0).getfield("spec/Tokenizer", "src").arraylength()
+    span.if_icmpge(done)
+    span.aload(0).getfield("spec/Tokenizer", "src").iload(1).caload()
+    span.istore(3)
+    span.iload(3).invokestatic("spec/Tokenizer", "isAlpha", 1, True).ifne(word)
+    span.iload(3).invokestatic("spec/Tokenizer", "isNum", 1, True).ifne(word)
+    span.goto(other)
+    # word: accumulate chars through a StringBuffer (synchronized appends)
+    span.bind(word)
+    span.new("java/lang/StringBuffer").dup()
+    span.invokespecial("java/lang/StringBuffer", "<init>", 0)
+    span.astore(4)
+    span.bind(word_loop)
+    span.iload(1)
+    span.aload(0).getfield("spec/Tokenizer", "src").arraylength()
+    span.if_icmpge(word_done)
+    span.aload(0).getfield("spec/Tokenizer", "src").iload(1).caload()
+    span.istore(3)
+    span.iload(3).invokestatic("spec/Tokenizer", "isAlpha", 1, True).ifne(advance)
+    span.iload(3).invokestatic("spec/Tokenizer", "isNum", 1, True).ifne(advance)
+    span.goto(word_done)
+    span.bind(advance)
+    span.aload(4).iload(3)
+    span.invokevirtual("java/lang/StringBuffer", "append", 1, True).pop()
+    span.iinc(1, 1)
+    span.goto(word_loop)
+    span.bind(word_done)
+    # hash the token string, bump its table entry
+    span.aload(4).invokevirtual("java/lang/StringBuffer", "toString", 0, True)
+    span.astore(6)
+    span.aload(6).invokevirtual("java/lang/String", "hashCode", 0, True)
+    span.iconst(0xFFFF).iand().istore(5)
+    span.aload(0).getfield("spec/Tokenizer", "table")
+    span.iload(5).iload(2)
+    span.invokevirtual("java/util/Hashtable", "put", 2, False)
+    span.iinc(2, 1)
+    span.goto(loop)
+    # non-word characters
+    skip = span.new_label("skip")
+    span.bind(other)
+    span.iload(3).iconst(ord(" ")).if_icmpeq(skip)
+    span.iinc(2, 1)               # count punctuation as a token
+    span.bind(skip)
+    span.iinc(1, 1)
+    span.goto(loop)
+    span.bind(done)
+    span.aload(0).getfield("spec/Tokenizer", "table")
+    span.invokevirtual("java/util/Hashtable", "size", 0, True)
+    span.iload(2).iconst(5).ishl().iadd().ireturn()
+
+    # ------------------------------------------------------------------
+    main_cls = pb.cls("spec/Jack")
+    m = main_cls.method("main", static=True)
+    # locals: 0=text 1=chars 2=i 3=acc 4=tokenizer
+    m.ldc_str(text).astore(0)
+    m.aload(0).invokevirtual("java/lang/String", "length", 0, True)
+    m.newarray(ArrayType.CHAR).astore(1)
+    explode = m.new_label("explode")
+    explode_done = m.new_label("explode_done")
+    m.iconst(0).istore(2)
+    m.bind(explode)
+    m.iload(2).aload(1).arraylength().if_icmpge(explode_done)
+    m.aload(1).iload(2)
+    m.aload(0).iload(2).invokevirtual("java/lang/String", "charAt", 1, True)
+    m.castore()
+    m.iinc(2, 1)
+    m.goto(explode)
+    m.bind(explode_done)
+    m.new("spec/Tokenizer").dup().aload(1)
+    m.invokespecial("spec/Tokenizer", "<init>", 1)
+    m.astore(4)
+    m.iconst(0).istore(3)
+    scans = m.new_label("scans")
+    scans_done = m.new_label("scans_done")
+    m.iconst(0).istore(2)
+    m.bind(scans)
+    m.iload(2).iconst(passes).if_icmpge(scans_done)
+    m.iload(3)
+    m.aload(4).invokevirtual("spec/Tokenizer", "scanPass", 0, True)
+    m.iadd().iconst(0xFFFFF).iand().istore(3)
+    m.iinc(2, 1)
+    m.goto(scans)
+    m.bind(scans_done)
+    m.getstatic("java/lang/System", "out").iload(3)
+    m.invokevirtual("java/io/PrintStream", "printlnInt", 1, False)
+    m.return_()
+
+    return pb.build()

@@ -1,0 +1,210 @@
+"""``jess`` — forward-chaining rule engine.
+
+Character (per the paper): repeated pattern matching of rules against a
+fact base; library (Vector) usage contributes synchronization traffic;
+translation is a visible but not dominant fraction.
+"""
+
+from __future__ import annotations
+
+from ...isa.builder import ProgramBuilder
+from ...isa.method import Program
+from ...isa.opcodes import ArrayType
+from ..base import register
+
+#: (initial facts, rules, iterations, max derived) per scale.
+_PARAMS = {
+    "s0": (12, 4, 2, 8),
+    "s1": (48, 8, 4, 96),
+    "s10": (128, 12, 8, 512),
+}
+
+#: Fields per fact tuple.
+_ARITY = 4
+#: Wildcard marker in patterns.
+_WILD = -1
+
+
+@register("jess", "rule engine: repeated pattern matching over a fact base")
+def build(scale: str = "s1") -> Program:
+    n_facts, n_rules, n_iters, max_derived = _PARAMS[scale]
+    pb = ProgramBuilder("jess", main_class="spec/Jess")
+
+    eng = pb.cls("spec/Engine")
+    eng.field("facts", "ref")          # Vector of int[4]
+    eng.field("patterns", "ref")       # int[n_rules * ARITY]
+    eng.field("derived", "int")
+    eng.field("budget", "int")
+
+    init = eng.method("<init>", argc=1)
+    init.aload(0)
+    init.new("java/util/Vector").dup().iconst(32)
+    init.invokespecial("java/util/Vector", "<init>", 1)
+    init.putfield("spec/Engine", "facts")
+    init.aload(0).iconst(n_rules * _ARITY).newarray(ArrayType.INT)
+    init.putfield("spec/Engine", "patterns")
+    init.aload(0).iconst(0).putfield("spec/Engine", "derived")
+    init.aload(0).iload(1).putfield("spec/Engine", "budget")
+    init.return_()
+
+    # void setPattern(int index, int value)
+    sp = eng.method("setPattern", argc=2)
+    sp.aload(0).getfield("spec/Engine", "patterns")
+    sp.iload(1).iload(2).iastore()
+    sp.return_()
+
+    # void assertFact(int a, int b, int c, int d)
+    af = eng.method("assertFact", argc=4)
+    af.iconst(_ARITY).newarray(ArrayType.INT).astore(5)
+    af.aload(5).iconst(0).iload(1).iastore()
+    af.aload(5).iconst(1).iload(2).iastore()
+    af.aload(5).iconst(2).iload(3).iastore()
+    af.aload(5).iconst(3).iload(4).iastore()
+    af.aload(0).getfield("spec/Engine", "facts")
+    af.aload(5).invokevirtual("java/util/Vector", "addElement", 1, False)
+    af.return_()
+
+    # int matchFact(int[] fact, int rule): 1 if every non-wild field matches
+    mf = eng.method("matchFact", argc=2, returns=True)
+    loop = mf.new_label("loop")
+    fail = mf.new_label("fail")
+    ok = mf.new_label("ok")
+    nxt = mf.new_label("next")
+    mf.iconst(0).istore(3)                       # j
+    mf.bind(loop)
+    mf.iload(3).iconst(_ARITY).if_icmpge(ok)
+    mf.aload(0).getfield("spec/Engine", "patterns")
+    mf.iload(2).iconst(_ARITY).imul().iload(3).iadd()
+    mf.iaload().istore(4)                        # p
+    mf.iload(4).iconst(_WILD).if_icmpeq(nxt)
+    mf.iload(4)
+    mf.aload(1).iload(3).iaload()
+    mf.if_icmpne(fail)
+    mf.bind(nxt)
+    mf.iinc(3, 1)
+    mf.goto(loop)
+    mf.bind(ok)
+    mf.iconst(1).ireturn()
+    mf.bind(fail)
+    mf.iconst(0).ireturn()
+
+    # int runRule(int rule): scans facts; derives on match; returns matches
+    rr = eng.method("runRule", argc=1, returns=True)
+    loop = rr.new_label("loop")
+    done = rr.new_label("done")
+    no_match = rr.new_label("no_match")
+    no_derive = rr.new_label("no_derive")
+    rr.iconst(0).istore(2)                       # i
+    rr.iconst(0).istore(3)                       # matches
+    rr.aload(0).getfield("spec/Engine", "facts")
+    rr.invokevirtual("java/util/Vector", "size", 0, True).istore(5)
+    rr.aload(0).getfield("spec/Engine", "facts")
+    rr.invokevirtual("java/util/Vector", "elems", 0, True).astore(6)
+    rr.bind(loop)
+    rr.iload(2).iload(5).if_icmpge(done)
+    rr.aload(6).iload(2).aaload()
+    rr.astore(4)
+    rr.aload(0)
+    rr.aload(4).iload(1)
+    rr.invokevirtual("spec/Engine", "matchFact", 2, True)
+    rr.ifeq(no_match)
+    rr.iinc(3, 1)
+    # derive a new fact if the budget allows
+    rr.aload(0).getfield("spec/Engine", "derived")
+    rr.aload(0).getfield("spec/Engine", "budget")
+    rr.if_icmpge(no_derive)
+    rr.aload(0)
+    rr.aload(4).iconst(0).iaload().iconst(1).iadd()
+    rr.aload(4).iconst(1).iaload()
+    rr.iload(1)
+    rr.aload(4).iconst(3).iaload().iconst(7).imul().iconst(0xFF).iand()
+    rr.invokevirtual("spec/Engine", "assertFact", 4, False)
+    rr.aload(0).dup().getfield("spec/Engine", "derived")
+    rr.iconst(1).iadd().putfield("spec/Engine", "derived")
+    rr.bind(no_derive)
+    rr.bind(no_match)
+    rr.iinc(2, 1)
+    rr.goto(loop)
+    rr.bind(done)
+    rr.iload(3).ireturn()
+
+    # int run(int iterations): fires all rules per iteration
+    run = eng.method("run", argc=1, returns=True)
+    outer = run.new_label("outer")
+    outer_done = run.new_label("outer_done")
+    inner = run.new_label("inner")
+    inner_done = run.new_label("inner_done")
+    run.iconst(0).istore(2)                      # total
+    run.iconst(0).istore(3)                      # it
+    run.bind(outer)
+    run.iload(3).iload(1).if_icmpge(outer_done)
+    run.iconst(0).istore(4)                      # rule
+    run.bind(inner)
+    run.iload(4).iconst(n_rules).if_icmpge(inner_done)
+    run.iload(2)
+    run.aload(0).iload(4).invokevirtual("spec/Engine", "runRule", 1, True)
+    run.iadd().iconst(0xFFFFF).iand().istore(2)
+    run.iinc(4, 1)
+    run.goto(inner)
+    run.bind(inner_done)
+    run.iinc(3, 1)
+    run.goto(outer)
+    run.bind(outer_done)
+    run.iload(2).ireturn()
+
+    # ------------------------------------------------------------------
+    main_cls = pb.cls("spec/Jess")
+    m = main_cls.method("main", static=True)
+    # locals: 0=engine 1=i 2=rnd 3=acc
+    m.new("spec/Engine").dup().iconst(max_derived)
+    m.invokespecial("spec/Engine", "<init>", 1)
+    m.astore(0)
+    m.new("java/util/Random").dup().iconst(13)
+    m.invokespecial("java/util/Random", "<init>", 1)
+    m.astore(2)
+    # Patterns: field j of rule r is wild 50% of the time.
+    pat = m.new_label("pat")
+    pat_done = m.new_label("pat_done")
+    wild = m.new_label("wild")
+    pat_next = m.new_label("pat_next")
+    m.iconst(0).istore(1)
+    m.bind(pat)
+    m.iload(1).iconst(n_rules * _ARITY).if_icmpge(pat_done)
+    # The last field of every pattern is a wildcard (facts carry a
+    # unique sequence number there); others are wild half the time.
+    m.iload(1).iconst(3).iand().iconst(3).if_icmpeq(wild)
+    m.aload(2).iconst(2).invokevirtual("java/util/Random", "nextInt", 1, True)
+    m.ifeq(wild)
+    m.aload(0).iload(1)
+    m.aload(2).iconst(5).invokevirtual("java/util/Random", "nextInt", 1, True)
+    m.invokevirtual("spec/Engine", "setPattern", 2, False)
+    m.goto(pat_next)
+    m.bind(wild)
+    m.aload(0).iload(1).iconst(_WILD)
+    m.invokevirtual("spec/Engine", "setPattern", 2, False)
+    m.bind(pat_next)
+    m.iinc(1, 1)
+    m.goto(pat)
+    m.bind(pat_done)
+    # Initial fact base.
+    facts = m.new_label("facts")
+    facts_done = m.new_label("facts_done")
+    m.iconst(0).istore(1)
+    m.bind(facts)
+    m.iload(1).iconst(n_facts).if_icmpge(facts_done)
+    m.aload(0)
+    m.aload(2).iconst(5).invokevirtual("java/util/Random", "nextInt", 1, True)
+    m.aload(2).iconst(5).invokevirtual("java/util/Random", "nextInt", 1, True)
+    m.aload(2).iconst(5).invokevirtual("java/util/Random", "nextInt", 1, True)
+    m.iload(1)
+    m.invokevirtual("spec/Engine", "assertFact", 4, False)
+    m.iinc(1, 1)
+    m.goto(facts)
+    m.bind(facts_done)
+    m.aload(0).iconst(n_iters).invokevirtual("spec/Engine", "run", 1, True)
+    m.istore(3)
+    m.getstatic("java/lang/System", "out").iload(3)
+    m.invokevirtual("java/io/PrintStream", "printlnInt", 1, False)
+    m.return_()
+
+    return pb.build()

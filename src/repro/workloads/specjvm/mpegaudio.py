@@ -1,0 +1,185 @@
+"""``mpegaudio`` — floating-point subband-filter kernel.
+
+Character (per the paper): numeric decoding loops with extreme method
+reuse over a tiny data footprint; excellent data-cache behaviour in
+interpreter mode (the whole footprint fits in cache); the JIT's
+clustered translate spikes are confined to the initial phase.
+"""
+
+from __future__ import annotations
+
+from ...isa.builder import ProgramBuilder
+from ...isa.method import Program
+from ...isa.opcodes import ArrayType
+from ..base import register
+
+#: (samples, frames) per scale.
+_PARAMS = {"s0": (128, 1), "s1": (384, 2), "s10": (2048, 4)}
+
+_SUBBANDS = 8
+_TAPS = 16
+
+
+@register("mpegaudio", "float subband filter: numeric loops, tiny footprint")
+def build(scale: str = "s1") -> Program:
+    n_samples, n_frames = _PARAMS[scale]
+    pb = ProgramBuilder("mpegaudio", main_class="spec/Mpeg")
+
+    f = pb.cls("spec/Filter")
+    f.field("coeffs", "ref")      # float[SUBBANDS * TAPS]
+    f.field("window", "ref")      # float[TAPS]
+    f.field("acc", "int")
+
+    init = f.method("<init>")
+    loop = init.new_label("loop")
+    done = init.new_label("done")
+    wloop = init.new_label("wloop")
+    wdone = init.new_label("wdone")
+    init.aload(0).iconst(_SUBBANDS * _TAPS).newarray(ArrayType.FLOAT)
+    init.putfield("spec/Filter", "coeffs")
+    init.aload(0).iconst(_TAPS).newarray(ArrayType.FLOAT)
+    init.putfield("spec/Filter", "window")
+    # coeffs[i] = ((i * 37) % 64 - 32) / 32.0
+    init.iconst(0).istore(1)
+    init.bind(loop)
+    init.iload(1).iconst(_SUBBANDS * _TAPS).if_icmpge(done)
+    init.aload(0).getfield("spec/Filter", "coeffs")
+    init.iload(1)
+    init.iload(1).iconst(37).imul().iconst(64).irem()
+    init.iconst(32).isub().i2f()
+    init.fconst(32.0).fdiv()
+    init.fastore()
+    init.iinc(1, 1)
+    init.goto(loop)
+    init.bind(done)
+    # window[i] = (i - TAPS/2) / TAPS
+    init.iconst(0).istore(1)
+    init.bind(wloop)
+    init.iload(1).iconst(_TAPS).if_icmpge(wdone)
+    init.aload(0).getfield("spec/Filter", "window")
+    init.iload(1)
+    init.iload(1).iconst(_TAPS // 2).isub().i2f()
+    init.fconst(float(_TAPS)).fdiv()
+    init.fastore()
+    init.iinc(1, 1)
+    init.goto(wloop)
+    init.bind(wdone)
+    init.aload(0).iconst(0).putfield("spec/Filter", "acc")
+    init.return_()
+
+    # float dot(float[] a, int ai, float[] b, int bi, int n) — the hot loop
+    dot = f.method("dot", argc=5, returns=True, static=True)
+    loop = dot.new_label("loop")
+    done = dot.new_label("done")
+    dot.fconst(0.0).fstore(5)
+    dot.iconst(0).istore(6)
+    dot.bind(loop)
+    dot.iload(6).iload(4).if_icmpge(done)
+    dot.fload(5)
+    dot.aload(0).iload(1).iload(6).iadd().faload()
+    dot.aload(2).iload(3).iload(6).iadd().faload()
+    dot.fmul().fadd().fstore(5)
+    dot.iinc(6, 1)
+    dot.goto(loop)
+    dot.bind(done)
+    dot.fload(5).freturn()
+
+    # int quantize(float v): scale and clamp to a 10-bit code
+    q = f.method("quantize", argc=1, returns=True, static=True)
+    neg = q.new_label("neg")
+    done = q.new_label("done")
+    q.fload(0).fconst(512.0).fmul().f2i().istore(1)
+    q.iload(1).iflt(neg)
+    q.iload(1).iconst(1023).iand().ireturn()
+    q.bind(neg)
+    q.iload(1).ineg().iconst(1023).iand().ireturn()
+    q.bind(done)
+    q.return_()
+
+    # int filterFrame(float[] samples, int offset)
+    ff = f.method("filterFrame", argc=2, returns=True)
+    sloop = ff.new_label("sloop")
+    sdone = ff.new_label("sdone")
+    ff.iconst(0).istore(3)                       # sum
+    ff.iconst(0).istore(4)                       # k (subband)
+    ff.bind(sloop)
+    ff.iload(4).iconst(_SUBBANDS).if_icmpge(sdone)
+    # v = dot(samples, offset, coeffs, k*TAPS, TAPS)
+    ff.aload(1).iload(2)
+    ff.aload(0).getfield("spec/Filter", "coeffs")
+    ff.iload(4).iconst(_TAPS).imul()
+    ff.iconst(_TAPS)
+    ff.invokestatic("spec/Filter", "dot", 5, True)
+    ff.fstore(5)
+    # w = dot(samples, offset, window, 0, TAPS)
+    ff.aload(1).iload(2)
+    ff.aload(0).getfield("spec/Filter", "window")
+    ff.iconst(0)
+    ff.iconst(_TAPS)
+    ff.invokestatic("spec/Filter", "dot", 5, True)
+    ff.fstore(6)
+    ff.iload(3)
+    ff.fload(5).fload(6).fadd()
+    ff.invokestatic("spec/Filter", "quantize", 1, True)
+    ff.iadd().iconst(0xFFFFF).iand().istore(3)
+    ff.iinc(4, 1)
+    ff.goto(sloop)
+    ff.bind(sdone)
+    ff.aload(0)
+    ff.aload(0).getfield("spec/Filter", "acc")
+    ff.iload(3).iadd().iconst(0xFFFFF).iand()
+    ff.putfield("spec/Filter", "acc")
+    ff.iload(3).ireturn()
+
+    get_acc = f.method("getAcc", returns=True)
+    get_acc.aload(0).getfield("spec/Filter", "acc").ireturn()
+
+    # ------------------------------------------------------------------
+    main_cls = pb.cls("spec/Mpeg")
+    m = main_cls.method("main", static=True)
+    # locals: 0=samples 1=i 2=filter 3=acc 4=frame 5=offset
+    fill = m.new_label("fill")
+    fill_done = m.new_label("fill_done")
+    frames = m.new_label("frames")
+    frames_done = m.new_label("frames_done")
+    inner = m.new_label("inner")
+    inner_done = m.new_label("inner_done")
+    m.iconst(n_samples).newarray(ArrayType.FLOAT).astore(0)
+    m.iconst(0).istore(1)
+    m.bind(fill)
+    m.iload(1).iconst(n_samples).if_icmpge(fill_done)
+    m.aload(0).iload(1)
+    m.iload(1).iconst(97).imul().iconst(255).iand()
+    m.iconst(128).isub().i2f().fconst(128.0).fdiv()
+    m.fastore()
+    m.iinc(1, 1)
+    m.goto(fill)
+    m.bind(fill_done)
+    m.new("spec/Filter").dup()
+    m.invokespecial("spec/Filter", "<init>", 0)
+    m.astore(2)
+    m.iconst(0).istore(3)
+    m.iconst(0).istore(4)
+    m.bind(frames)
+    m.iload(4).iconst(n_frames).if_icmpge(frames_done)
+    m.iconst(0).istore(5)
+    m.bind(inner)
+    m.iload(5).iconst(n_samples - _TAPS).if_icmpge(inner_done)
+    m.iload(3)
+    m.aload(2).aload(0).iload(5)
+    m.invokevirtual("spec/Filter", "filterFrame", 2, True)
+    m.iadd().iconst(0xFFFFF).iand().istore(3)
+    m.iload(5).iconst(_TAPS).iadd().istore(5)
+    m.goto(inner)
+    m.bind(inner_done)
+    m.iinc(4, 1)
+    m.goto(frames)
+    m.bind(frames_done)
+    m.iload(3).iconst(3).imul()
+    m.aload(2).invokevirtual("spec/Filter", "getAcc", 0, True)
+    m.iadd().iconst(0xFFFFF).iand().istore(3)
+    m.getstatic("java/lang/System", "out").iload(3)
+    m.invokevirtual("java/io/PrintStream", "printlnInt", 1, False)
+    m.return_()
+
+    return pb.build()

@@ -1,0 +1,211 @@
+"""``mtrt`` — two-thread ray tracer.
+
+Character (per the paper): the only multithreaded SpecJVM98 program.
+Two worker threads trace rays against a shared scene; results are
+accumulated through a synchronized collector, producing contended
+(case d) monitor acquisitions on top of the usual library traffic.
+"""
+
+from __future__ import annotations
+
+from ...isa.builder import ProgramBuilder
+from ...isa.method import Program
+from ..base import register
+
+#: (image width, image height, spheres) per scale.
+_PARAMS = {"s0": (8, 6, 3), "s1": (20, 14, 5), "s10": (48, 32, 10)}
+
+
+@register("mtrt", "two-thread ray tracer: shared scene + contended results",
+          multithreaded=True)
+def build(scale: str = "s1") -> Program:
+    width, height, n_spheres = _PARAMS[scale]
+    pb = ProgramBuilder("mtrt", main_class="spec/Mtrt")
+
+    # ------------------------------------------------------------------
+    # Sphere
+    # ------------------------------------------------------------------
+    sp = pb.cls("spec/Sphere")
+    for fname in ("cx", "cy", "cz", "radius"):
+        sp.field(fname, "float")
+    init = sp.method("<init>", argc=4)
+    for i, fname in enumerate(("cx", "cy", "cz", "radius")):
+        init.aload(0).fload(i + 1).putfield("spec/Sphere", fname)
+    init.return_()
+
+    # int intersects(float ox, float oy, float oz, float dx, float dy, float dz)
+    # Simplified ray/sphere test around the discriminant sign.
+    hit = sp.method("intersects", argc=6, returns=True)
+    no = hit.new_label("no")
+    # b = dx*(cx-ox) + dy*(cy-oy) + dz*(cz-oz)
+    hit.fload(4)
+    hit.aload(0).getfield("spec/Sphere", "cx").fload(1).fsub()
+    hit.fmul()
+    hit.fload(5)
+    hit.aload(0).getfield("spec/Sphere", "cy").fload(2).fsub()
+    hit.fmul().fadd()
+    hit.fload(6)
+    hit.aload(0).getfield("spec/Sphere", "cz").fload(3).fsub()
+    hit.fmul().fadd()
+    hit.fstore(7)                                   # b
+    # dist2 = (cx-ox)^2 + (cy-oy)^2 + (cz-oz)^2
+    hit.aload(0).getfield("spec/Sphere", "cx").fload(1).fsub().fstore(8)
+    hit.fload(8).fload(8).fmul().fstore(9)
+    hit.aload(0).getfield("spec/Sphere", "cy").fload(2).fsub().fstore(8)
+    hit.fload(9).fload(8).fload(8).fmul().fadd().fstore(9)
+    hit.aload(0).getfield("spec/Sphere", "cz").fload(3).fsub().fstore(8)
+    hit.fload(9).fload(8).fload(8).fmul().fadd().fstore(9)
+    # disc = b*b - (dist2 - r*r)
+    hit.fload(7).fload(7).fmul()
+    hit.fload(9)
+    hit.aload(0).getfield("spec/Sphere", "radius")
+    hit.aload(0).getfield("spec/Sphere", "radius").fmul()
+    hit.fsub()
+    hit.fsub().fstore(10)
+    hit.fload(10).fconst(0.0).fcmpl().iflt(no)
+    # shade = sqrt(disc) scaled — keeps the FPU + native Math traffic real
+    hit.fload(10).invokestatic("java/lang/Math", "sqrt", 1, True)
+    hit.fconst(8.0).fmul().f2i().iconst(15).iand().iconst(1).iadd()
+    hit.ireturn()
+    hit.bind(no)
+    hit.iconst(0).ireturn()
+
+    # ------------------------------------------------------------------
+    # Result collector (synchronized — the contended object)
+    # ------------------------------------------------------------------
+    res = pb.cls("spec/Result")
+    res.field("total", "int")
+    init = res.method("<init>")
+    init.aload(0).iconst(0).putfield("spec/Result", "total")
+    init.return_()
+    add = res.method("addSamples", argc=1, synchronized=True)
+    add.aload(0)
+    add.aload(0).getfield("spec/Result", "total")
+    add.iload(1).iadd().iconst(0xFFFFF).iand()
+    add.putfield("spec/Result", "total")
+    add.return_()
+    total = res.method("getTotal", returns=True, synchronized=True)
+    total.aload(0).getfield("spec/Result", "total").ireturn()
+
+    # ------------------------------------------------------------------
+    # RenderThread extends java/lang/Thread
+    # ------------------------------------------------------------------
+    rt = pb.cls("spec/RenderThread", super_name="java/lang/Thread")
+    rt.field("spheres", "ref")
+    rt.field("result", "ref")
+    rt.field("y0", "int")
+    rt.field("y1", "int")
+    init = rt.method("<init>", argc=4)
+    init.aload(0).aload(1).putfield("spec/RenderThread", "spheres")
+    init.aload(0).aload(2).putfield("spec/RenderThread", "result")
+    init.aload(0).iload(3).putfield("spec/RenderThread", "y0")
+    init.aload(0).iload(4).putfield("spec/RenderThread", "y1")
+    init.return_()
+
+    # int tracePixel(int x, int y): ray vs. every sphere
+    tp = rt.method("tracePixel", argc=2, returns=True)
+    loop = tp.new_label("loop")
+    done = tp.new_label("done")
+    # Direction from pixel coordinates.
+    tp.iload(1).iconst(width // 2).isub().i2f()
+    tp.fconst(float(width)).fdiv().fstore(3)        # dx
+    tp.iload(2).iconst(height // 2).isub().i2f()
+    tp.fconst(float(height)).fdiv().fstore(4)       # dy
+    tp.fconst(1.0).fstore(5)                        # dz
+    tp.iconst(0).istore(6)                          # hits
+    tp.iconst(0).istore(7)                          # i
+    tp.bind(loop)
+    tp.iload(7)
+    tp.aload(0).getfield("spec/RenderThread", "spheres").arraylength()
+    tp.if_icmpge(done)
+    tp.iload(6)
+    tp.aload(0).getfield("spec/RenderThread", "spheres")
+    tp.iload(7).aaload().checkcast("spec/Sphere")
+    tp.fconst(0.0).fconst(0.0).fconst(-4.0)         # origin
+    tp.fload(3).fload(4).fload(5)
+    tp.invokevirtual("spec/Sphere", "intersects", 6, True)
+    tp.iadd().istore(6)
+    tp.iinc(7, 1)
+    tp.goto(loop)
+    tp.bind(done)
+    tp.iload(6).ireturn()
+
+    # void run(): trace the strip, accumulate per row
+    run = rt.method("run")
+    yloop = run.new_label("yloop")
+    ydone = run.new_label("ydone")
+    xloop = run.new_label("xloop")
+    xdone = run.new_label("xdone")
+    run.aload(0).getfield("spec/RenderThread", "y0").istore(1)   # y
+    run.bind(yloop)
+    run.iload(1)
+    run.aload(0).getfield("spec/RenderThread", "y1")
+    run.if_icmpge(ydone)
+    run.iconst(0).istore(2)                                      # x
+    run.iconst(0).istore(3)                                      # row hits
+    run.bind(xloop)
+    run.iload(2).iconst(width).if_icmpge(xdone)
+    run.iload(3)
+    run.aload(0).iload(2).iload(1)
+    run.invokevirtual("spec/RenderThread", "tracePixel", 2, True)
+    run.iadd().istore(3)
+    run.iinc(2, 1)
+    run.goto(xloop)
+    run.bind(xdone)
+    run.aload(0).getfield("spec/RenderThread", "result")
+    run.iload(3)
+    run.invokevirtual("spec/Result", "addSamples", 1, False)
+    run.iinc(1, 1)
+    run.goto(yloop)
+    run.bind(ydone)
+    run.return_()
+
+    # ------------------------------------------------------------------
+    # Main: build scene, start two workers, join, report.
+    # ------------------------------------------------------------------
+    main_cls = pb.cls("spec/Mtrt")
+    m = main_cls.method("main", static=True)
+    # locals: 0=spheres 1=i 2=result 3=t1 4=t2 5=rnd
+    m.new("java/util/Random").dup().iconst(99)
+    m.invokespecial("java/util/Random", "<init>", 1)
+    m.astore(5)
+    m.iconst(n_spheres).anewarray("spec/Sphere").astore(0)
+    fill = m.new_label("fill")
+    fill_done = m.new_label("fill_done")
+    m.iconst(0).istore(1)
+    m.bind(fill)
+    m.iload(1).iconst(n_spheres).if_icmpge(fill_done)
+    m.aload(0).iload(1)
+    m.new("spec/Sphere").dup()
+    for scale_div in (8.0, 8.0, 4.0):
+        m.aload(5).iconst(16).invokevirtual("java/util/Random", "nextInt", 1, True)
+        m.iconst(8).isub().i2f().fconst(scale_div).fdiv()
+    m.aload(5).iconst(6).invokevirtual("java/util/Random", "nextInt", 1, True)
+    m.iconst(2).iadd().i2f().fconst(8.0).fdiv()
+    m.invokespecial("spec/Sphere", "<init>", 4)
+    m.aastore()
+    m.iinc(1, 1)
+    m.goto(fill)
+    m.bind(fill_done)
+    m.new("spec/Result").dup()
+    m.invokespecial("spec/Result", "<init>", 0)
+    m.astore(2)
+    # Two worker threads splitting the rows.
+    m.new("spec/RenderThread").dup()
+    m.aload(0).aload(2).iconst(0).iconst(height // 2)
+    m.invokespecial("spec/RenderThread", "<init>", 4)
+    m.astore(3)
+    m.new("spec/RenderThread").dup()
+    m.aload(0).aload(2).iconst(height // 2).iconst(height)
+    m.invokespecial("spec/RenderThread", "<init>", 4)
+    m.astore(4)
+    m.aload(3).invokevirtual("java/lang/Thread", "start", 0, False)
+    m.aload(4).invokevirtual("java/lang/Thread", "start", 0, False)
+    m.aload(3).invokevirtual("java/lang/Thread", "join", 0, False)
+    m.aload(4).invokevirtual("java/lang/Thread", "join", 0, False)
+    m.getstatic("java/lang/System", "out")
+    m.aload(2).invokevirtual("spec/Result", "getTotal", 0, True)
+    m.invokevirtual("java/io/PrintStream", "printlnInt", 1, False)
+    m.return_()
+
+    return pb.build()

@@ -1,0 +1,9 @@
+"""Test configuration: make tests/ importable and keep runs fast."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+# Keep trace archives out of the repo during tests.
+os.environ.setdefault("REPRO_TRACE_CACHE", "")

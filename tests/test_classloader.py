@@ -1,0 +1,161 @@
+"""Class loading: laziness, layout, resolution, address assignment."""
+
+import pytest
+
+from repro.isa import ProgramBuilder
+from repro.native.layout import BYTECODE_BASE, STATICS_BASE, VM_DATA_BASE
+from repro.native.trace import CountingSink
+from repro.vm import InterpretOnly, JavaVM
+from repro.vm.classloader import ClassLoadError
+
+
+def _program_with_hierarchy():
+    pb = ProgramBuilder("t", main_class="Main")
+    base = pb.cls("Base")
+    base.field("a", "int")
+    base.method("<init>").return_()
+    sub = pb.cls("Sub", super_name="Base")
+    sub.field("b", "float")
+    sub.field("c", "ref")
+    sub.method("<init>").return_()
+    unused = pb.cls("NeverUsed")
+    unused.method("<init>").return_()
+    main = pb.cls("Main")
+    main.static_field("s", "int")
+    m = main.method("main", static=True)
+    m.new("Sub").dup().invokespecial("Sub", "<init>", 0).pop()
+    m.return_()
+    return pb.build()
+
+
+def _vm(program=None):
+    vm = JavaVM(program or _program_with_hierarchy(),
+                strategy=InterpretOnly())
+    return vm
+
+
+class TestLaziness:
+    def test_unreferenced_class_not_loaded(self):
+        vm = _vm()
+        vm.run()
+        assert not vm.program.get_class("NeverUsed").loaded
+        assert vm.program.get_class("Sub").loaded
+
+    def test_superclass_loaded_with_subclass(self):
+        vm = _vm()
+        vm.run()
+        assert vm.program.get_class("Base").loaded
+
+    def test_load_emits_classload_trace(self):
+        from repro.native.nisa import FLAG_CLASSLOAD
+        vm = JavaVM(_program_with_hierarchy(), strategy=InterpretOnly(),
+                    record=True)
+        result = vm.run()
+        tr = result.trace
+        marked = tr.select((tr.flags & FLAG_CLASSLOAD) != 0)
+        assert marked.n > 0
+        # Loading writes bytecode images into the bytecode region.
+        bc_writes = marked.select(
+            marked.is_write & (marked.ea >= BYTECODE_BASE)
+        )
+        assert bc_writes.n > 0
+
+    def test_unknown_class_raises(self):
+        pb = ProgramBuilder("t", main_class="Main")
+        m = pb.cls("Main").method("main", static=True)
+        m.new("NoSuchClass").pop()
+        m.return_()
+        vm = _vm(pb.build())
+        with pytest.raises(ClassLoadError):
+            vm.run()
+
+
+class TestLayout:
+    def test_field_offsets_inherit(self):
+        vm = _vm()
+        vm.boot()
+        sub = vm.loader.ensure_loaded("Sub")
+        assert sub.field_offsets["a"] == 0          # inherited first
+        assert sub.field_offsets["b"] == 4
+        assert sub.field_offsets["c"] == 8
+        assert sub.instance_bytes == 12
+
+    def test_statics_in_statics_region(self):
+        vm = _vm()
+        vm.boot()
+        main = vm.loader.ensure_loaded("Main")
+        assert STATICS_BASE <= main.static_addr["s"] < STATICS_BASE + 0x100000
+        assert main.statics["s"] == 0
+
+    def test_bytecode_addresses_assigned(self):
+        vm = _vm()
+        vm.boot()
+        sub = vm.loader.ensure_loaded("Sub")
+        init = sub.methods["<init>"]
+        assert init.bc_addr >= BYTECODE_BASE
+        assert init.bc_length > 0
+        assert init.bc_offsets[0] == 0
+
+    def test_metadata_addresses_distinct(self):
+        vm = _vm()
+        vm.boot()
+        a = vm.loader.ensure_loaded("Base")
+        b = vm.loader.ensure_loaded("Sub")
+        assert a.meta_addr != b.meta_addr
+        assert a.meta_addr >= VM_DATA_BASE
+
+    def test_method_ids_unique(self):
+        vm = _vm()
+        vm.run()
+        ids = [m.method_id for m in vm.loader.methods_by_id]
+        assert len(ids) == len(set(ids))
+
+    def test_footprint_counters(self):
+        vm = _vm()
+        vm.run()
+        assert vm.loader.metadata_bytes > 0
+        assert vm.loader.bytecode_bytes > 0
+        assert vm.loader.classes_loaded >= 4  # library + app classes
+
+
+class TestResolution:
+    def test_field_resolution_quickens(self):
+        vm = _vm()
+        vm.boot()
+        main = vm.program.get_class("Main")
+        sub = vm.loader.ensure_loaded("Sub")
+        # resolve a field ref twice: second time uses the cache
+        idx = sub.pool.field_ref("Sub", "b")
+        first = vm.loader.resolve_field(sub, idx)
+        count = vm.loader.resolution_count
+        second = vm.loader.resolve_field(sub, idx)
+        assert first == second
+        assert vm.loader.resolution_count == count
+
+    def test_static_field_found_in_superclass(self):
+        pb = ProgramBuilder("t", main_class="Main")
+        base = pb.cls("Base")
+        base.static_field("shared", "int")
+        pb.cls("Kid", super_name="Base")
+        m = pb.cls("Main").method("main", static=True)
+        m.iconst(5).putstatic("Kid", "shared")
+        m.getstatic("Kid", "shared").istore(1)
+        m.getstatic("java/lang/System", "out").iload(1)
+        m.invokevirtual("java/io/PrintStream", "printlnInt", 1, False)
+        m.return_()
+        vm = _vm(pb.build())
+        assert vm.run().stdout == ["5"]
+
+    def test_missing_field_raises(self):
+        vm = _vm()
+        vm.boot()
+        sub = vm.loader.ensure_loaded("Sub")
+        idx = sub.pool.field_ref("Sub", "nope")
+        with pytest.raises(ClassLoadError, match="not found"):
+            vm.loader.resolve_field(sub, idx)
+
+    def test_resolution_charged_as_overhead(self):
+        vm = _vm()
+        vm.run()
+        assert vm.loader.overhead_cycles > 0
+        assert vm.loader.overhead_cycles < vm.sink.cycles

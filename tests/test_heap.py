@@ -1,0 +1,196 @@
+"""Heap allocator and mark-sweep collector."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import ClassBuilder, Field
+from repro.vm.heap import Heap, OutOfMemoryError
+from repro.vm.objects import (
+    ARRAY_HEADER_BYTES,
+    OBJECT_HEADER_BYTES,
+    JArray,
+    JString,
+)
+from repro.isa.opcodes import ArrayType
+
+
+def _point_class():
+    cb = ClassBuilder("Point")
+    cb.field("x", "int").field("y", "int")
+    cls = cb.build()
+    cls.field_offsets = {"x": 0, "y": 4}
+    cls.field_types = {"x": "int", "y": "int"}
+    cls.instance_bytes = 8
+    return cls
+
+
+class TestAllocation:
+    def test_addresses_disjoint_and_aligned(self):
+        heap = Heap()
+        cls = _point_class()
+        a = heap.new_object(cls)
+        b = heap.new_object(cls)
+        assert a.addr != b.addr
+        assert a.addr % 8 == 0 and b.addr % 8 == 0
+        assert b.addr >= a.addr + a.byte_size
+
+    def test_field_addresses(self):
+        heap = Heap()
+        obj = heap.new_object(_point_class())
+        assert obj.field_addr("x") == obj.addr + OBJECT_HEADER_BYTES
+        assert obj.field_addr("y") == obj.addr + OBJECT_HEADER_BYTES + 4
+
+    def test_fields_initialized(self):
+        obj = Heap().new_object(_point_class())
+        assert obj.fields == {"x": 0, "y": 0}
+
+    def test_array_element_addresses(self):
+        heap = Heap()
+        arr = heap.new_array(ArrayType.INT, 10)
+        assert arr.elem_addr(0) == arr.addr + ARRAY_HEADER_BYTES
+        assert arr.elem_addr(3) == arr.elem_addr(0) + 12
+
+    def test_byte_array_element_width(self):
+        arr = Heap().new_array(ArrayType.BYTE, 10)
+        assert arr.elem_addr(5) - arr.elem_addr(4) == 1
+
+    def test_char_array_element_width(self):
+        arr = Heap().new_array(ArrayType.CHAR, 10)
+        assert arr.elem_addr(5) - arr.elem_addr(4) == 2
+
+    def test_float_array_default(self):
+        arr = Heap().new_array(ArrayType.FLOAT, 2)
+        assert arr.data == [0.0, 0.0]
+
+    def test_ref_array_default(self):
+        arr = Heap().new_array("ref", 2)
+        assert arr.data == [None, None]
+
+    def test_negative_array_rejected(self):
+        with pytest.raises(ValueError):
+            Heap().new_array(ArrayType.INT, -1)
+
+    def test_array_bounds_check(self):
+        arr = Heap().new_array(ArrayType.INT, 3)
+        arr.check(0)
+        arr.check(2)
+        with pytest.raises(IndexError):
+            arr.check(3)
+        with pytest.raises(IndexError):
+            arr.check(-1)
+
+    def test_string_allocation(self):
+        heap = Heap()
+        s = heap.new_string("hello")
+        assert isinstance(s, JString)
+        assert s.value == "hello"
+        assert s.data_addr(1) - s.data_addr(0) == 2
+
+    def test_stats_track_liveness(self):
+        heap = Heap()
+        heap.new_object(_point_class())
+        snap = heap.stats.snapshot()
+        assert snap["allocations"] == 1
+        assert snap["live_bytes"] > 0
+        assert snap["peak_live_bytes"] == snap["live_bytes"]
+
+
+class TestCollection:
+    def test_unreachable_objects_swept(self):
+        heap = Heap()
+        cls = _point_class()
+        keep = heap.new_object(cls)
+        heap.new_object(cls)  # garbage
+        heap.root_provider = lambda: [keep]
+        freed = heap.collect()
+        assert freed > 0
+        assert heap.live_object_count == 1
+        assert keep.addr in heap.objects
+
+    def test_reachability_through_fields(self):
+        heap = Heap()
+        cls = _point_class()
+        cls.field_types = {"x": "ref", "y": "int"}
+        root = heap.new_object(cls)
+        child = heap.new_object(cls)
+        root.fields["x"] = child
+        heap.root_provider = lambda: [root]
+        heap.collect()
+        assert heap.live_object_count == 2
+
+    def test_reachability_through_ref_arrays(self):
+        heap = Heap()
+        cls = _point_class()
+        arr = heap.new_array("ref", 3)
+        child = heap.new_object(cls)
+        arr.data[1] = child
+        heap.root_provider = lambda: [arr]
+        heap.collect()
+        assert heap.live_object_count == 2
+
+    def test_cycles_collected(self):
+        heap = Heap()
+        cls = _point_class()
+        cls.field_types = {"x": "ref", "y": "ref"}
+        a = heap.new_object(cls)
+        b = heap.new_object(cls)
+        a.fields["x"] = b
+        b.fields["x"] = a
+        heap.root_provider = lambda: []
+        heap.collect()
+        assert heap.live_object_count == 0
+
+    def test_freed_space_reused(self):
+        heap = Heap(limit_bytes=4096)
+        cls = _point_class()
+        objs = [heap.new_object(cls) for _ in range(100)]
+        addr0 = objs[0].addr
+        heap.root_provider = lambda: []
+        heap.collect()
+        again = heap.new_object(cls)
+        assert again.addr == addr0  # first-fit reuses the first gap
+
+    def test_gc_triggered_on_exhaustion(self):
+        heap = Heap(limit_bytes=2048)
+        cls = _point_class()
+        heap.root_provider = lambda: []
+        for _ in range(500):  # would exceed the limit without sweeping
+            heap.new_object(cls)
+        assert heap.stats.gc_count >= 1
+
+    def test_oom_when_all_live(self):
+        heap = Heap(limit_bytes=1024)
+        cls = _point_class()
+        live = []
+        heap.root_provider = lambda: live
+        with pytest.raises(OutOfMemoryError):
+            for _ in range(500):
+                live.append(heap.new_object(cls))
+
+    def test_gc_listener_called(self):
+        heap = Heap()
+        freed_amounts = []
+        heap.gc_listener = freed_amounts.append
+        heap.new_object(_point_class())
+        heap.root_provider = lambda: []
+        heap.collect()
+        assert len(freed_amounts) == 1 and freed_amounts[0] > 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=40), min_size=1,
+                    max_size=60))
+    def test_live_bytes_invariant(self, sizes):
+        """allocated - freed == live, and live objects keep their data."""
+        heap = Heap(limit_bytes=1 << 20)
+        keep = []
+        heap.root_provider = lambda: keep
+        for i, n in enumerate(sizes):
+            arr = heap.new_array(ArrayType.INT, n)
+            if i % 2 == 0:
+                arr.data[:] = [i] * n
+                keep.append(arr)
+        heap.collect()
+        assert heap.live_object_count == len(keep)
+        for i, arr in zip(range(0, 2 * len(keep), 2), keep):
+            assert all(v == i for v in arr.data)
+        assert heap.stats.live_bytes <= heap.stats.allocated_bytes

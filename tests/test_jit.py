@@ -1,0 +1,237 @@
+"""JIT compiler: chunk generation, layout, spills, inlining, code cache."""
+
+import pytest
+
+from repro.isa import ArrayType, ProgramBuilder
+from repro.native.layout import CODE_CACHE_BASE
+from repro.native.nisa import NCat
+from repro.vm import CompileOnFirstUse, JavaVM
+from repro.vm.jit.inline import ClassHierarchy, is_inlinable
+
+from helpers import eval_both_modes, expr_main, run_program
+
+
+def _compile_main(body_fn):
+    """Build a main with ``body_fn`` and compile it; returns CompiledMethod."""
+    pb = expr_main(body_fn)
+    program = pb.build()
+    vm = JavaVM(program, strategy=CompileOnFirstUse())
+    vm.boot()
+    main = program.entry_method
+    return vm._compiled[main.method_id], vm
+
+
+class TestChunkGeneration:
+    def test_chunks_align_with_bytecode(self):
+        compiled, _vm = _compile_main(lambda m: m.iconst(1) and None)
+        assert len(compiled.chunks) == len(compiled.method.code)
+
+    def test_chunks_contiguous_in_code_cache(self):
+        compiled, _vm = _compile_main(
+            lambda m: m.iconst(1).iconst(2).iadd() and None
+        )
+        pcs = []
+        for chunk in compiled.chunks:
+            if chunk is not None:
+                pcs.extend(chunk.template.pc.tolist())
+        assert pcs == sorted(pcs)
+        assert all(pc >= CODE_CACHE_BASE for pc in pcs)
+        assert compiled.entry_pc <= pcs[0] < compiled.end_pc
+
+    def test_branch_targets_point_at_chunks(self):
+        def body(m):
+            out = m.new_label()
+            m.iconst(1).istore(1)
+            m.iload(1).ifeq(out)
+            m.iinc(1, 5)
+            m.bind(out)
+            m.iload(1)
+        compiled, _vm = _compile_main(body)
+        # find the BRANCH instruction in the chunk stream
+        branch_targets = []
+        chunk_pcs = set()
+        for chunk in compiled.chunks:
+            if chunk is None:
+                continue
+            chunk_pcs.add(chunk.base_pc)
+            t = chunk.template
+            for i in range(t.n):
+                if t.cat[i] == int(NCat.BRANCH) and t.target[i]:
+                    branch_targets.append(int(t.target[i]))
+        assert branch_targets
+        assert all(t in chunk_pcs for t in branch_targets)
+
+    def test_pop_and_nop_produce_no_code(self):
+        def body(m):
+            m.iconst(1).iconst(2).pop().nop()
+        compiled, _vm = _compile_main(body)
+        kinds = [c is None for c in compiled.chunks]
+        # pop (index 2) and nop (index 3) generate nothing
+        assert kinds[2] and kinds[3]
+
+    def test_getstatic_address_baked(self):
+        def body(m):
+            m.getstatic("Test", "s")
+        pb = expr_main(body)
+        pb._class_builders[0].static_field("s", "int")
+        program = pb.build()
+        vm = JavaVM(program, strategy=CompileOnFirstUse())
+        vm.boot()
+        compiled = vm._compiled[program.entry_method.method_id]
+        loads = []
+        for chunk in compiled.chunks:
+            if chunk is None:
+                continue
+            t = chunk.template
+            for i in range(t.n):
+                if t.cat[i] == int(NCat.LOAD) and t.ea[i]:
+                    loads.append(int(t.ea[i]))
+        statics_addr = program.get_class("Test").static_addr["s"]
+        assert statics_addr in loads
+
+    def test_code_cache_accounting(self):
+        compiled, vm = _compile_main(lambda m: m.iconst(1) and None)
+        assert vm.code_cache.used_bytes >= compiled.code_bytes > 0
+        assert vm.jit.methods_compiled >= 1
+        assert vm.jit.native_instructions_emitted > 0
+
+
+class TestDeepStacksAndSpills:
+    def test_deep_operand_stack_semantics(self):
+        # Push 20 constants (beyond the 12 stack registers), sum them.
+        def body(m):
+            for i in range(20):
+                m.iconst(i)
+            for _ in range(19):
+                m.iadd()
+        assert eval_both_modes(body) == sum(range(20))
+
+    def test_many_locals_semantics(self):
+        def body(m):
+            for i in range(1, 14):
+                m.iconst(i).istore(i)
+            m.iconst(0)
+            for i in range(1, 14):
+                m.iload(i).iadd()
+        assert eval_both_modes(body) == sum(range(1, 14))
+
+    def test_spilled_chunks_are_frame_relative(self):
+        def body(m):
+            for i in range(20):
+                m.iconst(i)
+            for _ in range(19):
+                m.iadd()
+        compiled, _vm = _compile_main(body)
+        assert any(c is not None and c.ea_plan is not None
+                   for c in compiled.chunks)
+
+
+class TestInlining:
+    def _getter_program(self):
+        pb = ProgramBuilder("t", main_class="Main")
+        holder = pb.cls("Holder")
+        holder.field("v", "int")
+        holder.method("<init>").return_()
+        get = holder.method("get", returns=True)
+        get.aload(0).getfield("Holder", "v").ireturn()
+        m = pb.cls("Main").method("main", static=True)
+        m.new("Holder").dup()
+        m.invokespecial("Holder", "<init>", 0)
+        m.astore(1)
+        m.aload(1).iconst(41).putfield("Holder", "v")
+        m.aload(1).invokevirtual("Holder", "get", 0, True)
+        m.iconst(1).iadd().istore(2)
+        m.getstatic("java/lang/System", "out").iload(2)
+        m.invokevirtual("java/io/PrintStream", "printlnInt", 1, False)
+        m.return_()
+        return pb
+
+    def test_monomorphic_getter_inlined(self):
+        result = run_program(self._getter_program(), mode="jit")
+        assert result.stdout == ["42"]
+        assert result.inlined_sites >= 1
+
+    def test_inline_disabled_flag(self):
+        program = self._getter_program().build()
+        vm = JavaVM(program, strategy=CompileOnFirstUse(), inline=False)
+        result = vm.run()
+        assert result.stdout == ["42"]
+        assert result.inlined_sites == 0
+
+    def test_polymorphic_target_not_inlined(self):
+        pb = ProgramBuilder("t", main_class="Main")
+        base = pb.cls("B")
+        base.method("<init>").return_()
+        bm = base.method("f", returns=True)
+        bm.iconst(1).ireturn()
+        sub = pb.cls("S", super_name="B")
+        sub.method("<init>").return_()
+        sm = sub.method("f", returns=True)
+        sm.iconst(2).ireturn()
+        m = pb.cls("Main").method("main", static=True)
+        m.new("S").dup().invokespecial("S", "<init>", 0)
+        m.invokevirtual("B", "f", 0, True).istore(1)
+        m.getstatic("java/lang/System", "out").iload(1)
+        m.invokevirtual("java/io/PrintStream", "printlnInt", 1, False)
+        m.return_()
+        program = pb.build()
+        hierarchy = ClassHierarchy(program)
+        assert hierarchy.unique_target("B", "f") is None
+        result = run_program(pb, mode="jit")
+        assert result.stdout == ["2"]
+
+    def test_cha_unique_target(self):
+        pb = ProgramBuilder("t", main_class="Main")
+        base = pb.cls("B")
+        bm = base.method("f", returns=True)
+        bm.iconst(1).ireturn()
+        pb.cls("S", super_name="B")
+        pb.cls("Main").method("main", static=True).return_()
+        program = pb.build()
+        hierarchy = ClassHierarchy(program)
+        target = hierarchy.unique_target("B", "f")
+        assert target is program.get_class("B").methods["f"]
+
+    def test_is_inlinable_filters(self):
+        pb = ProgramBuilder("t", main_class="M")
+        cb = pb.cls("M")
+        tiny = cb.method("tiny", returns=True)
+        tiny.iconst(1).ireturn()
+        loopy = cb.method("loopy", returns=True)
+        top = loopy.new_label()
+        loopy.bind(top)
+        loopy.iconst(1).ifne(top)
+        loopy.iconst(0).ireturn()
+        sync = cb.method("sync", returns=True, synchronized=True)
+        sync.iconst(1).ireturn()
+        cb.method("main", static=True).return_()
+        program = pb.build()
+        methods = program.get_class("M").methods
+        assert is_inlinable(methods["tiny"])
+        assert not is_inlinable(methods["loopy"])   # has a branch
+        assert not is_inlinable(methods["sync"])    # synchronized
+
+
+class TestTranslateTrace:
+    def test_translation_charged_to_trace(self):
+        pb = expr_main(lambda m: m.iconst(1) and None)
+        program = pb.build()
+        vm = JavaVM(program, strategy=CompileOnFirstUse(), record=True)
+        result = vm.run()
+        assert result.translate_cycles > 0
+        trace = result.trace
+        xl = trace.select(trace.in_translate)
+        assert xl.n > 0
+        # install stores target the code cache
+        installs = xl.select(xl.is_write)
+        assert (installs.ea >= CODE_CACHE_BASE).sum() > 0
+
+    def test_translate_cost_scales_with_method_size(self):
+        small, _ = _compile_main(lambda m: m.iconst(1) and None)
+        def big(m):
+            for i in range(40):
+                m.iconst(i)
+            for _ in range(39):
+                m.iadd()
+        large, _ = _compile_main(big)
+        assert large.translate_cycles > small.translate_cycles

@@ -1,0 +1,69 @@
+"""Statistical C/C++ reference trace generators."""
+
+import pytest
+
+from repro.analysis import mix_from_trace, summarize
+from repro.arch.caches import simulate_split_l1
+from repro.workloads.native_reference import (
+    C_PROFILE,
+    CPP_PROFILE,
+    PROFILES,
+    generate_reference_trace,
+)
+
+
+class TestGeneration:
+    def test_length(self):
+        tr = generate_reference_trace(C_PROFILE, n=10_000)
+        assert tr.n == 10_000
+
+    def test_deterministic_for_seed(self):
+        a = generate_reference_trace(C_PROFILE, n=5000, seed=3)
+        b = generate_reference_trace(C_PROFILE, n=5000, seed=3)
+        assert (a.pc == b.pc).all() and (a.ea == b.ea).all()
+
+    def test_seeds_differ(self):
+        a = generate_reference_trace(C_PROFILE, n=5000, seed=3)
+        b = generate_reference_trace(C_PROFILE, n=5000, seed=4)
+        assert not (a.ea == b.ea).all()
+
+    @pytest.mark.parametrize("name", sorted(PROFILES))
+    def test_mix_matches_profile(self, name):
+        profile = PROFILES[name]
+        tr = generate_reference_trace(profile, n=100_000)
+        mix = mix_from_trace(tr)
+        assert mix["load"] == pytest.approx(profile.load_frac, abs=0.02)
+        assert mix["store"] == pytest.approx(profile.store_frac, abs=0.02)
+        assert mix["branch"] == pytest.approx(profile.branch_frac, abs=0.02)
+        s = summarize(mix)
+        assert 0.25 <= s["memory"] <= 0.42   # the paper's 25-40% band
+        assert 0.12 <= s["transfer"] <= 0.22  # ~15-20%
+
+    def test_memory_ops_have_addresses(self):
+        tr = generate_reference_trace(C_PROFILE, n=20_000)
+        mem = tr.select(tr.is_memory)
+        assert (mem.ea > 0).all()
+
+    def test_cpp_has_more_indirect_calls(self):
+        from repro.analysis import indirect_fraction
+        c = generate_reference_trace(C_PROFILE, n=100_000)
+        cpp = generate_reference_trace(CPP_PROFILE, n=100_000)
+        assert (indirect_fraction(cpp.category_counts())
+                > indirect_fraction(c.category_counts()))
+
+
+class TestCacheBehaviour:
+    def test_miss_rates_in_published_bands(self):
+        """The point of the generators: C/C++-like L1 behaviour at 64K."""
+        for name, profile in PROFILES.items():
+            tr = generate_reference_trace(profile, n=300_000)
+            res = simulate_split_l1(tr)
+            assert 0.001 <= res.icache.miss_rate <= 0.06, name
+            assert 0.005 <= res.dcache.miss_rate <= 0.08, name
+
+    def test_cpp_icache_worse_than_c(self):
+        c = generate_reference_trace(C_PROFILE, n=300_000)
+        cpp = generate_reference_trace(CPP_PROFILE, n=300_000)
+        rc = simulate_split_l1(c)
+        rcpp = simulate_split_l1(cpp)
+        assert rcpp.icache.miss_rate >= rc.icache.miss_rate

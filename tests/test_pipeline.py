@@ -1,0 +1,132 @@
+"""Superscalar pipeline model on crafted traces."""
+
+import numpy as np
+import pytest
+
+from repro.arch.pipeline import PipelineConfig, ipc_by_width, simulate_pipeline
+from repro.native.nisa import FLAG_TAKEN, FLAG_WRITE, NCat
+from repro.native.trace import Trace
+
+
+def _trace(rows):
+    """rows: (pc, cat, ea, flags, target, dst, src1, src2)."""
+    cols = list(zip(*rows)) if rows else [[]] * 8
+    return Trace.from_columns(
+        pc=cols[0], cat=cols[1], ea=cols[2], flags=cols[3],
+        target=cols[4], dst=cols[5], src1=cols[6], src2=cols[7],
+    )
+
+
+def _ialu_stream(n, independent=True):
+    rows = []
+    for i in range(n):
+        dst = 5 + (i % 3) if independent else 5
+        src = 8 if independent else 5
+        # pcs revisit a small hot region so the I-cache stays warm.
+        rows.append((0x1000 + 4 * (i % 64), int(NCat.IALU), 0, 0, 0,
+                     dst, src, -1))
+    return _trace(rows)
+
+
+class TestWidthScaling:
+    def test_independent_code_scales_with_width(self):
+        tr = _ialu_stream(4000)
+        r1 = simulate_pipeline(tr, PipelineConfig(width=1)).ipc
+        r4 = simulate_pipeline(tr, PipelineConfig(width=4)).ipc
+        assert r4 > 2.5 * r1
+
+    def test_serial_chain_does_not_scale(self):
+        tr = _ialu_stream(4000, independent=False)
+        r1 = simulate_pipeline(tr, PipelineConfig(width=1)).ipc
+        r8 = simulate_pipeline(tr, PipelineConfig(width=8)).ipc
+        assert r8 < 1.3 * r1
+
+    def test_ipc_never_exceeds_width(self):
+        tr = _ialu_stream(2000)
+        for w in (1, 2, 4):
+            assert simulate_pipeline(tr, PipelineConfig(width=w)).ipc <= w + 0.01
+
+    def test_ipc_by_width_helper(self):
+        tr = _ialu_stream(1000)
+        res = ipc_by_width(tr, widths=(1, 2))
+        assert set(res) == {1, 2}
+        assert res[2].ipc >= res[1].ipc
+
+
+class TestBranchEffects:
+    def test_mispredicts_cost_cycles(self):
+        # Alternating branch at one pc with rotating targets: hard.
+        rows = []
+        for i in range(2000):
+            taken = i % 2 == 0
+            rows.append((
+                0x1000, int(NCat.BRANCH), 0,
+                FLAG_TAKEN if taken else 0,
+                0x5000 + 64 * (i % 5) if taken else 0,
+                -1, 5, -1,
+            ))
+        hard = simulate_pipeline(_trace(rows), PipelineConfig(width=4))
+        easy = simulate_pipeline(_ialu_stream(2000), PipelineConfig(width=4))
+        assert hard.mispredicts > 100
+        assert hard.ipc < easy.ipc
+
+    def test_penalty_parameter_matters(self):
+        rows = []
+        for i in range(1000):
+            rows.append((
+                0x1000, int(NCat.IJUMP), 0, FLAG_TAKEN,
+                0x5000 + 64 * (i % 7), -1, 5, -1,
+            ))
+        tr = _trace(rows)
+        cheap = simulate_pipeline(tr, PipelineConfig(width=4,
+                                                     mispredict_penalty=1))
+        costly = simulate_pipeline(tr, PipelineConfig(width=4,
+                                                      mispredict_penalty=12))
+        assert costly.cycles > cheap.cycles
+
+
+class TestMemoryEffects:
+    def test_cache_misses_slow_execution(self):
+        # Loads streaming over a huge footprint vs one hot line.
+        def loads(stride):
+            rows = []
+            for i in range(3000):
+                rows.append((0x1000 + 4 * (i % 8), int(NCat.LOAD),
+                             0x100000 + stride * i, 0, 0, 5, 8, -1))
+            return _trace(rows)
+        hot = simulate_pipeline(loads(0), PipelineConfig(width=4))
+        streaming = simulate_pipeline(loads(256), PipelineConfig(width=4))
+        assert streaming.dmisses > hot.dmisses
+        assert streaming.cycles > hot.cycles
+
+    def test_icache_misses_counted(self):
+        # Walk a large code footprint: every 8th fetch misses (32B lines).
+        rows = [(0x1000 + 4 * i, int(NCat.IALU), 0, 0, 0, 5, 8, -1)
+                for i in range(100_000)]
+        res = simulate_pipeline(_trace(rows), PipelineConfig(width=4))
+        assert res.imisses > 5000
+
+    def test_load_use_dependence_stalls(self):
+        # load -> dependent alu pairs vs independent pairs.
+        dep_rows, indep_rows = [], []
+        for i in range(2000):
+            pc = 0x1000 + 8 * (i % 4)
+            dep_rows.append((pc, int(NCat.LOAD), 0x100000, 0, 0, 5, 8, -1))
+            dep_rows.append((pc + 4, int(NCat.IALU), 0, 0, 0, 6, 5, -1))
+            indep_rows.append((pc, int(NCat.LOAD), 0x100000, 0, 0, 5, 8, -1))
+            indep_rows.append((pc + 4, int(NCat.IALU), 0, 0, 0, 6, 9, -1))
+        dep = simulate_pipeline(_trace(dep_rows), PipelineConfig(width=4))
+        indep = simulate_pipeline(_trace(indep_rows), PipelineConfig(width=4))
+        assert dep.cycles > indep.cycles
+
+
+class TestEdgeCases:
+    def test_empty_trace(self):
+        res = simulate_pipeline(Trace.empty())
+        assert res.instructions == 0
+        assert res.ipc == 0.0
+
+    def test_single_instruction(self):
+        res = simulate_pipeline(_ialu_stream(1))
+        assert res.instructions == 1
+        assert res.cycles >= 1

@@ -1,0 +1,159 @@
+"""Structural invariants of the interpreter / runtime / translator
+templates — the contracts the whole trace methodology rests on."""
+
+import numpy as np
+import pytest
+
+from repro.isa import N_OPCODES, Op
+from repro.native.layout import (
+    INTERP_TEXT_BASE,
+    INTERP_TEXT_SIZE,
+    JITC_TEXT_BASE,
+    JITC_TEXT_SIZE,
+    VM_TEXT_BASE,
+    VM_TEXT_SIZE,
+)
+from repro.native.nisa import FLAG_TRANSLATE, NCat
+from repro.vm.interp_templates import (
+    MAX_INVOKE_ARGS,
+    shared_templates,
+)
+from repro.vm.jit.translate_stubs import (
+    GENERATOR_CLASSES,
+    generator_class,
+    shared_translate_stubs,
+)
+from repro.vm.stubs import shared_stubs
+
+
+@pytest.fixture(scope="module")
+def tpls():
+    return shared_templates()
+
+
+class TestInterpreterTemplates:
+    _NO_HANDLER = {Op.INVOKEVIRTUAL, Op.INVOKESPECIAL, Op.INVOKESTATIC}
+
+    def test_every_opcode_has_a_handler(self, tpls):
+        for op in Op:
+            if op in self._NO_HANDLER:
+                continue
+            assert op in tpls.tpl, op
+
+    def test_invoke_variants_per_argc(self, tpls):
+        for kind in ("invokevirtual", "invokespecial", "invokestatic"):
+            for argc in range(MAX_INVOKE_ARGS + 1):
+                assert (kind, argc) in tpls.tpl
+
+    def test_dispatch_block_shares_pcs(self, tpls):
+        """Every handler's first instructions are the one dispatch loop."""
+        first_pcs = {int(t.pc[0]) for t in tpls.tpl.values()}
+        assert first_pcs == {tpls.dispatch_pc}
+
+    def test_dispatch_ijump_targets_vary(self, tpls):
+        """Same pc, different targets: the BTB-defeating pattern."""
+        ijump_pcs = set()
+        targets = set()
+        for t in tpls.tpl.values():
+            rows = np.where(t.cat == int(NCat.IJUMP))[0]
+            assert len(rows) >= 1
+            ijump_pcs.add(int(t.pc[rows[0]]))
+            targets.add(int(t.target[rows[0]]))
+        assert len(ijump_pcs) == 1
+        assert len(targets) == len(tpls.tpl)
+
+    def test_handler_bodies_have_distinct_pcs(self, tpls):
+        bodies = {}
+        for key, t in tpls.tpl.items():
+            body_start = int(t.pc[8])  # first instruction after dispatch
+            assert body_start not in bodies, (key, bodies[body_start])
+            bodies[body_start] = key
+
+    def test_all_pcs_inside_interpreter_text(self, tpls):
+        for t in tpls.tpl.values():
+            assert (t.pc >= INTERP_TEXT_BASE).all()
+            assert (t.pc < INTERP_TEXT_BASE + INTERP_TEXT_SIZE).all()
+
+    def test_handlers_return_to_dispatch(self, tpls):
+        for key, t in tpls.tpl.items():
+            last = t.n - 1
+            cat = int(t.cat[last])
+            assert cat in (int(NCat.JUMP),), (key, NCat(cat).name)
+            assert int(t.target[last]) == tpls.dispatch_pc
+
+    def test_handler_sizes_near_papers_25(self, tpls):
+        """[27]'s ~25 native instructions per bytecode, on average."""
+        simple = [t.n for key, t in tpls.tpl.items()
+                  if isinstance(key, Op)]
+        mean = sum(simple) / len(simple)
+        assert 18 <= mean <= 32, mean
+
+    def test_every_handler_fetches_bytecode_as_data(self, tpls):
+        """The interpreter's signature: bytecode is data (first patch)."""
+        for key, t in tpls.tpl.items():
+            assert len(t.patch_ea) >= 1
+            assert t.patch_ea[0] == 0
+            assert t.cat[0] == int(NCat.LOAD)
+
+    def test_shared_singleton(self):
+        assert shared_templates() is shared_templates()
+
+
+class TestRuntimeStubs:
+    def test_pcs_inside_vm_text(self):
+        stubs = shared_stubs()
+        for t in (stubs.alloc_entry, stubs.alloc_zero, stubs.copy_chunk,
+                  stubs.resolve, stubs.classload_parse,
+                  stubs.classload_bccopy):
+            assert (t.pc >= VM_TEXT_BASE).all()
+            assert (t.pc < VM_TEXT_BASE + VM_TEXT_SIZE).all()
+
+    def test_alloc_emission_zeroes_whole_object(self):
+        from repro.native.trace import RecordingSink
+        stubs = shared_stubs()
+        sink = RecordingSink()
+        stubs.emit_alloc(sink, 0x8000_0000, 72)
+        tr = sink.trace()
+        writes = tr.select(tr.is_write)
+        # header (2 words) + body (64 bytes = 16 words in 2 chunks)
+        assert writes.n >= 10
+        assert int(writes.ea.max()) >= 0x8000_0000 + 64
+
+    def test_copy_emission_touches_both_buffers(self):
+        from repro.native.trace import RecordingSink
+        stubs = shared_stubs()
+        sink = RecordingSink()
+        stubs.emit_copy(sink, 0x1000, 0x2000, 20, 4)
+        tr = sink.trace()
+        reads = tr.select(tr.is_memory & ~tr.is_write)
+        writes = tr.select(tr.is_write)
+        assert ((0x1000 <= reads.ea) & (reads.ea < 0x1100)).any()
+        assert ((0x2000 <= writes.ea) & (writes.ea < 0x2100)).any()
+
+    def test_native_body_buckets(self):
+        stubs = shared_stubs()
+        assert stubs.native_body(12).n < stubs.native_body(150).n
+
+
+class TestTranslateStubs:
+    def test_every_opcode_maps_to_a_generator(self):
+        for op in Op:
+            assert generator_class(op) in GENERATOR_CLASSES
+
+    def test_translate_templates_flagged(self):
+        stubs = shared_translate_stubs()
+        for t in [stubs.driver, stubs.emit_instr, stubs.method_overhead,
+                  *stubs.generators.values()]:
+            assert (t.flags & FLAG_TRANSLATE).all()
+
+    def test_translator_pcs_inside_jitc_text(self):
+        stubs = shared_translate_stubs()
+        for t in [stubs.driver, stubs.emit_instr, *stubs.generators.values()]:
+            assert (t.pc >= JITC_TEXT_BASE).all()
+            assert (t.pc < JITC_TEXT_BASE + JITC_TEXT_SIZE).all()
+
+    def test_generator_reuse_gives_small_footprint(self):
+        """The paper's 'high code reuse within translate': the whole
+        translator text is a few KB, reused for every method."""
+        stubs = shared_translate_stubs()
+        assert stubs.text_bytes < 8192

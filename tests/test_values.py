@@ -1,0 +1,121 @@
+"""Java value semantics: 32-bit wrapping, division, shifts, fcmp."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.vm import values
+
+i32s = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+
+
+class TestI32:
+    def test_identity_in_range(self):
+        assert values.i32(123) == 123
+        assert values.i32(-123) == -123
+
+    def test_wraps_positive_overflow(self):
+        assert values.i32(2**31) == -(2**31)
+
+    def test_wraps_negative_overflow(self):
+        assert values.i32(-(2**31) - 1) == 2**31 - 1
+
+    def test_extremes(self):
+        assert values.i32(2**31 - 1) == 2**31 - 1
+        assert values.i32(-(2**31)) == -(2**31)
+
+    def test_multiplication_wraps(self):
+        assert values.i32(1103515245 * 1103515245) == values.i32(
+            (1103515245 * 1103515245) % 2**32
+        )
+
+    @given(st.integers())
+    def test_always_in_range(self, x):
+        v = values.i32(x)
+        assert -(2**31) <= v < 2**31
+
+    @given(i32s)
+    def test_idempotent(self, x):
+        assert values.i32(values.i32(x)) == values.i32(x)
+
+    @given(i32s, i32s)
+    def test_addition_matches_modular(self, a, b):
+        assert values.i32(a + b) == values.i32((a + b) % 2**32)
+
+
+class TestDivision:
+    def test_truncates_toward_zero(self):
+        assert values.idiv(7, 2) == 3
+        assert values.idiv(-7, 2) == -3
+        assert values.idiv(7, -2) == -3
+        assert values.idiv(-7, -2) == 3
+
+    def test_rem_sign_follows_dividend(self):
+        assert values.irem(7, 2) == 1
+        assert values.irem(-7, 2) == -1
+        assert values.irem(7, -2) == 1
+        assert values.irem(-7, -2) == -1
+
+    def test_divide_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            values.idiv(1, 0)
+        with pytest.raises(ZeroDivisionError):
+            values.irem(1, 0)
+
+    def test_int_min_by_minus_one_wraps(self):
+        assert values.idiv(-(2**31), -1) == -(2**31)
+
+    @given(i32s, i32s.filter(lambda v: v != 0))
+    def test_div_rem_identity(self, a, b):
+        q = values.idiv(a, b)
+        r = values.irem(a, b)
+        assert values.i32(q * b + r) == a
+
+
+class TestShifts:
+    def test_shl_masks_count(self):
+        assert values.ishl(1, 33) == 2  # 33 & 31 == 1
+
+    def test_shr_is_arithmetic(self):
+        assert values.ishr(-8, 1) == -4
+
+    def test_ushr_is_logical(self):
+        assert values.iushr(-1, 28) == 15
+
+    def test_ushr_zero_count(self):
+        assert values.iushr(-5, 0) == -5
+
+    @given(i32s, st.integers(min_value=0, max_value=31))
+    def test_shl_in_range(self, a, s):
+        v = values.ishl(a, s)
+        assert -(2**31) <= v < 2**31
+
+
+class TestNarrowing:
+    def test_i8(self):
+        assert values.i8(0x80) == -128
+        assert values.i8(0x7F) == 127
+        assert values.i8(256) == 0
+
+    def test_i16(self):
+        assert values.i16(0x8000) == -32768
+        assert values.i16(0x7FFF) == 32767
+
+    def test_u16(self):
+        assert values.u16(-1) == 0xFFFF
+        assert values.u16(0x10041) == 0x41
+
+
+class TestFcmp:
+    def test_ordering(self):
+        assert values.fcmp(1.0, 2.0, -1) == -1
+        assert values.fcmp(2.0, 1.0, -1) == 1
+        assert values.fcmp(1.0, 1.0, -1) == 0
+
+    def test_nan_uses_nan_result(self):
+        nan = float("nan")
+        assert values.fcmp(nan, 1.0, -1) == -1
+        assert values.fcmp(1.0, nan, 1) == 1
+
+    @given(st.floats(allow_nan=False), st.floats(allow_nan=False))
+    def test_antisymmetric(self, a, b):
+        assert values.fcmp(a, b, -1) == -values.fcmp(b, a, -1)

@@ -1,0 +1,150 @@
+"""Bytecode verifier: structural checks and stack-depth inference."""
+
+import pytest
+
+from repro.isa import ClassBuilder, Op, VerifyError, verify_method
+from repro.isa.instruction import Instr
+from repro.isa.method import Method
+
+
+def _method(code, argc=0, max_locals=None, name="m"):
+    m = Method(name, argc=argc, is_static=True, max_locals=max_locals,
+               code=code)
+    cls = ClassBuilder("C").build()
+    m.jclass = cls
+    m.pool = cls.pool
+    return m
+
+
+class TestDepthInference:
+    def test_linear_depths(self):
+        m = _method([
+            Instr(Op.ICONST, 1), Instr(Op.ICONST, 2), Instr(Op.IADD),
+            Instr(Op.POP), Instr(Op.RETURN),
+        ])
+        assert verify_method(m) == [0, 1, 2, 1, 0]
+        assert m.max_stack == 2
+
+    def test_branch_merge_consistent(self):
+        # if (x) {} else {}; both paths reach the join with depth 0
+        m = _method([
+            Instr(Op.ICONST, 1),         # 0
+            Instr(Op.IFEQ, 3),           # 1 -> 3
+            Instr(Op.NOP),               # 2
+            Instr(Op.RETURN),            # 3
+        ])
+        assert verify_method(m) == [0, 1, 0, 0]
+
+    def test_unreachable_marked(self):
+        m = _method([
+            Instr(Op.RETURN),
+            Instr(Op.NOP),       # unreachable
+            Instr(Op.RETURN),    # unreachable
+        ])
+        assert verify_method(m) == [0, -1, -1]
+
+    def test_loop_converges(self):
+        m = _method([
+            Instr(Op.ICONST, 0),          # 0
+            Instr(Op.ICONST, 1),          # 1: loop body pushes/pops evenly
+            Instr(Op.POP),                # 2
+            Instr(Op.GOTO, 1),            # 3
+        ])
+        # No exit, but the fixpoint converges and all depths agree.
+        depths = verify_method(m)
+        assert depths == [0, 1, 2, 1]
+
+    def test_native_method_skipped(self):
+        m = Method("n", native_impl=lambda *a: None)
+        assert verify_method(m) == []
+
+
+class TestRejections:
+    def test_underflow(self):
+        m = _method([Instr(Op.IADD), Instr(Op.RETURN)])
+        with pytest.raises(VerifyError, match="underflow"):
+            verify_method(m)
+
+    def test_overflow(self):
+        m = _method([Instr(Op.ICONST, 1)] * 70 + [Instr(Op.RETURN)])
+        with pytest.raises(VerifyError, match="overflow"):
+            verify_method(m)
+
+    def test_fall_off_end(self):
+        m = _method([Instr(Op.NOP)])
+        with pytest.raises(VerifyError, match="falls off"):
+            verify_method(m)
+
+    def test_inconsistent_merge_depth(self):
+        # Path A reaches index 3 with depth 1, path B with depth 0.
+        m = _method([
+            Instr(Op.ICONST, 1),          # 0: depth 0 -> 1
+            Instr(Op.IFEQ, 3),            # 1: pops -> 0; branch to 3 @0
+            Instr(Op.ICONST, 5),          # 2: -> 1, falls into 3 @1
+            Instr(Op.RETURN),             # 3
+        ])
+        with pytest.raises(VerifyError, match="inconsistent"):
+            verify_method(m)
+
+    def test_branch_target_out_of_range(self):
+        m = _method([Instr(Op.ICONST, 0), Instr(Op.IFEQ, 99),
+                     Instr(Op.RETURN)])
+        with pytest.raises(VerifyError, match="out of range"):
+            verify_method(m)
+
+    def test_local_out_of_range(self):
+        m = _method([Instr(Op.ILOAD, 3), Instr(Op.POP), Instr(Op.RETURN)],
+                    max_locals=2)
+        with pytest.raises(VerifyError, match="local 3"):
+            verify_method(m)
+
+    def test_bad_pool_index(self):
+        m = _method([Instr(Op.GETSTATIC, 42), Instr(Op.POP),
+                     Instr(Op.RETURN)])
+        with pytest.raises(VerifyError, match="pool index"):
+            verify_method(m)
+
+    def test_wrong_pool_entry_type(self):
+        cb = ClassBuilder("C")
+        mb = cb.method("m", static=True)
+        idx = mb._pool.string("hello")
+        mb.emit(Op.GETSTATIC, idx)
+        mb.pop()
+        mb.return_()
+        cls = cb.build()
+        with pytest.raises(VerifyError, match="expects"):
+            verify_method(cls.methods["m"])
+
+    def test_empty_code(self):
+        m = _method([])
+        with pytest.raises(VerifyError, match="empty"):
+            verify_method(m)
+
+    def test_ireturn_with_empty_stack(self):
+        m = _method([Instr(Op.IRETURN)])
+        with pytest.raises(VerifyError, match="underflow"):
+            verify_method(m)
+
+
+class TestInvokeArity:
+    def test_invoke_pops_args_and_receiver(self):
+        cb = ClassBuilder("C")
+        mb = cb.method("m", static=True)
+        mb.aconst_null()
+        mb.iconst(1).iconst(2)
+        mb.invokevirtual("C", "target", 2, True)
+        mb.pop()
+        mb.return_()
+        cls = cb.build()
+        depths = verify_method(cls.methods["m"])
+        assert depths[-2] == 1  # result on stack before pop
+
+    def test_invokestatic_no_receiver(self):
+        cb = ClassBuilder("C")
+        mb = cb.method("m", static=True)
+        mb.iconst(1)
+        mb.invokestatic("C", "f", 1, False)
+        mb.return_()
+        cls = cb.build()
+        depths = verify_method(cls.methods["m"])
+        assert depths[-1] == 0
