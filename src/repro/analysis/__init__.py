@@ -1,10 +1,11 @@
 """Analyses: hybrid oracle model, instruction mix, runners, reporting."""
 
+from .cache import CacheStats, cache_key, default_cache_dir, source_digest
 from .hybrid import MethodDecision, OracleAnalysis
 from .mix import indirect_fraction, mix_from_counts, mix_from_trace, summarize
+from .parallel import Job, oracle_job, run_job, run_jobs, trace_job
 from .report import format_bars, format_stacked_bars, format_table
 from .runner import (
-    CACHE_VERSION,
     get_trace,
     make_strategy,
     oracle_analysis,
@@ -13,9 +14,12 @@ from .runner import (
 )
 
 __all__ = [
-    "CACHE_VERSION",
+    "CacheStats",
+    "Job",
     "MethodDecision",
     "OracleAnalysis",
+    "cache_key",
+    "default_cache_dir",
     "format_bars",
     "format_stacked_bars",
     "format_table",
@@ -25,7 +29,12 @@ __all__ = [
     "mix_from_counts",
     "mix_from_trace",
     "oracle_analysis",
+    "oracle_job",
     "oracle_run",
+    "run_job",
+    "run_jobs",
     "run_vm",
+    "source_digest",
     "summarize",
+    "trace_job",
 ]

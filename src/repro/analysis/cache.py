@@ -1,0 +1,385 @@
+"""Content-addressed on-disk cache shared by traces and VM results.
+
+The old scheme keyed archives on a hand-bumped ``CACHE_VERSION``; any
+change to trace-affecting code silently served stale traces until
+someone remembered to bump it.  Here every archive is addressed by a
+key that hashes
+
+- the *source* of every trace-affecting module (``repro.isa``,
+  ``repro.native``, ``repro.sync``, ``repro.vm``, ``repro.workloads``
+  and the runner itself), and
+- the full job configuration (workload, scale, mode, VM options).
+
+Editing any of those modules, or changing any config field, changes the
+key — no manual invalidation step exists anymore.  Stale archives are
+simply never addressed again (and can be pruned with ``prune``).
+
+Concurrent workers share one cache directory safely: writes go to a
+temp file in the same directory followed by an atomic ``os.replace``,
+serialized per-entry by an ``flock``-based file lock.  Corrupt or
+truncated archives are detected on load, removed, and recomputed rather
+than crashing the run.
+
+All lookups/stores update a module-level :class:`CacheStats` so the CLI
+can report hit/miss/latency counters in the run summary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import pickle
+import time
+import zipfile
+
+import numpy as np
+
+from ..native.trace import _COLUMNS, Trace
+
+try:  # pragma: no cover - fcntl exists on every POSIX we target
+    import fcntl
+except ImportError:  # pragma: no cover - Windows fallback: no inter-lock
+    fcntl = None
+
+#: Package-relative sources whose content feeds the cache key.  A file
+#: entry names one module; a directory entry covers every ``.py`` below.
+TRACE_AFFECTING = (
+    "isa",
+    "native",
+    "sync",
+    "vm",
+    "workloads",
+    os.path.join("analysis", "runner.py"),
+)
+
+#: Errors that mean "archive unreadable", never "bug": recompute instead.
+_CORRUPT_ERRORS = (
+    zipfile.BadZipFile,
+    pickle.UnpicklingError,
+    EOFError,
+    KeyError,
+    ValueError,
+    OSError,
+    AttributeError,
+    ImportError,
+)
+
+
+def default_cache_dir() -> str | None:
+    """The cache directory, resolved from the environment *at call time*
+    (so tests and tools can redirect it per-call).  Empty string disables
+    caching."""
+    return os.environ.get("REPRO_TRACE_CACHE", ".trace_cache") or None
+
+
+def resolve_dir(cache_dir: str | None) -> str | None:
+    """Map a ``cache_dir`` argument to an effective directory.
+
+    ``None`` means "use the environment default"; an empty string (or
+    any falsy value) disables caching.
+    """
+    if cache_dir is None:
+        return default_cache_dir()
+    return cache_dir or None
+
+
+# -- source digest -----------------------------------------------------
+
+_digest_cache: dict[str, str] = {}
+
+
+def package_root() -> str:
+    """Root of the installed ``repro`` package."""
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def trace_affecting_files(root: str | None = None) -> list[str]:
+    """Absolute paths of every source file that feeds the digest."""
+    root = root or package_root()
+    files: list[str] = []
+    for entry in TRACE_AFFECTING:
+        path = os.path.join(root, entry)
+        if os.path.isfile(path):
+            files.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames.sort()
+            dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+            files.extend(
+                os.path.join(dirpath, f)
+                for f in sorted(filenames)
+                if f.endswith(".py")
+            )
+    return files
+
+
+def source_digest(root: str | None = None) -> str:
+    """Digest of all trace-affecting module sources (memoized per root)."""
+    root = root or package_root()
+    cached = _digest_cache.get(root)
+    if cached is not None:
+        return cached
+    h = hashlib.sha256()
+    for path in trace_affecting_files(root):
+        h.update(os.path.relpath(path, root).encode())
+        h.update(b"\0")
+        with open(path, "rb") as fh:
+            h.update(fh.read())
+        h.update(b"\0")
+    digest = h.hexdigest()
+    _digest_cache[root] = digest
+    return digest
+
+
+def reset_source_digest() -> None:
+    """Drop the digest memo (tests; long-lived processes editing code)."""
+    _digest_cache.clear()
+
+
+def cache_key(kind: str, *, root: str | None = None, **fields) -> str:
+    """Content-addressed key for one cache entry.
+
+    ``fields`` must be JSON-serializable; the key covers the source
+    digest, the entry kind, and every field — so any source or config
+    change produces a different key.
+    """
+    payload = {"kind": kind, "source": source_digest(root), **fields}
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# -- statistics --------------------------------------------------------
+
+_STAT_FIELDS = (
+    "trace_hits", "trace_misses", "run_hits", "run_misses",
+    "corrupt", "stores",
+)
+_TIME_FIELDS = ("lookup_seconds", "store_seconds")
+
+
+class CacheStats:
+    """Hit/miss/latency counters for the shared cache."""
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        for f in _STAT_FIELDS:
+            setattr(self, f, 0)
+        for f in _TIME_FIELDS:
+            setattr(self, f, 0.0)
+
+    # -- accounting ---------------------------------------------------
+    def count(self, field: str, n: int = 1) -> None:
+        setattr(self, field, getattr(self, field) + n)
+
+    def time(self, field: str, seconds: float) -> None:
+        setattr(self, field, getattr(self, field) + seconds)
+
+    # -- aggregation --------------------------------------------------
+    def snapshot(self) -> dict:
+        return {f: getattr(self, f) for f in _STAT_FIELDS + _TIME_FIELDS}
+
+    def merge(self, snap: dict) -> None:
+        for f in _STAT_FIELDS + _TIME_FIELDS:
+            setattr(self, f, getattr(self, f) + snap.get(f, 0))
+
+    @property
+    def hits(self) -> int:
+        return self.trace_hits + self.run_hits
+
+    @property
+    def misses(self) -> int:
+        return self.trace_misses + self.run_misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def format_summary(self) -> str:
+        return (
+            f"cache: {self.hits} hits / {self.misses} misses "
+            f"({100 * self.hit_rate:.1f}% hit rate; "
+            f"traces {self.trace_hits}/{self.trace_hits + self.trace_misses},"
+            f" runs {self.run_hits}/{self.run_hits + self.run_misses}), "
+            f"{self.corrupt} corrupt recomputed, "
+            f"lookup {self.lookup_seconds:.2f}s, "
+            f"store {self.store_seconds:.2f}s"
+        )
+
+    @staticmethod
+    def diff(after: dict, before: dict) -> dict:
+        return {k: after[k] - before.get(k, 0) for k in after}
+
+
+#: Process-wide counters; workers ship snapshots back to the parent.
+STATS = CacheStats()
+
+
+def reset_stats() -> None:
+    STATS.reset()
+
+
+# -- file locking and atomic writes ------------------------------------
+
+class FileLock:
+    """``flock``-based advisory lock guarding one cache entry.
+
+    Lock files live next to the entry (``<path>.lock``) so concurrent
+    workers targeting the same key serialize their writes while writers
+    of other entries proceed in parallel.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.lock_path = path + ".lock"
+        self._fd: int | None = None
+
+    def __enter__(self) -> "FileLock":
+        os.makedirs(os.path.dirname(self.lock_path) or ".", exist_ok=True)
+        self._fd = os.open(self.lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        if fcntl is not None:
+            fcntl.flock(self._fd, fcntl.LOCK_EX)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._fd is not None:
+            if fcntl is not None:
+                fcntl.flock(self._fd, fcntl.LOCK_UN)
+            os.close(self._fd)
+            self._fd = None
+
+
+def _atomic_write(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` via a same-directory temp file and an
+    atomic rename, so readers never observe a partial archive."""
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    tmp = os.path.join(directory, f".tmp-{os.getpid()}-{os.path.basename(path)}")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):  # pragma: no cover - only on write failure
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+
+
+def _discard(path: str) -> None:
+    """Remove a corrupt archive so the recomputed one replaces it."""
+    with FileLock(path):
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+
+# -- entry paths -------------------------------------------------------
+
+def trace_path(cache_dir: str, workload: str, scale: str, mode: str,
+               key: str) -> str:
+    return os.path.join(
+        cache_dir, "traces", f"{workload}-{scale}-{mode}-{key[:16]}.npz"
+    )
+
+
+def run_path(cache_dir: str, workload: str, scale: str, mode: str,
+             key: str) -> str:
+    return os.path.join(
+        cache_dir, "runs", f"{workload}-{scale}-{mode}-{key[:16]}.pkl"
+    )
+
+
+# -- trace archives ----------------------------------------------------
+
+def load_trace(path: str) -> Trace | None:
+    """Load a trace archive, tolerating absent/corrupt files.
+
+    Counts a hit, a miss, or a corrupt-recompute in :data:`STATS`.
+    """
+    started = time.perf_counter()
+    try:
+        trace = Trace.load(path)
+    except FileNotFoundError:
+        STATS.count("trace_misses")
+        return None
+    except _CORRUPT_ERRORS:
+        STATS.count("corrupt")
+        STATS.count("trace_misses")
+        _discard(path)
+        return None
+    finally:
+        STATS.time("lookup_seconds", time.perf_counter() - started)
+    STATS.count("trace_hits")
+    return trace
+
+
+def store_trace(path: str, trace: Trace) -> None:
+    started = time.perf_counter()
+    buf = io.BytesIO()
+    # Trace.save's format, staged through memory so the write is atomic.
+    np.savez_compressed(buf, **{c: getattr(trace, c) for c in _COLUMNS})
+    with FileLock(path):
+        _atomic_write(path, buf.getvalue())
+    STATS.count("stores")
+    STATS.time("store_seconds", time.perf_counter() - started)
+
+
+# -- pickled run results -----------------------------------------------
+
+def load_run(path: str):
+    """Load a cached ``VMResult``; ``None`` on absence or corruption."""
+    started = time.perf_counter()
+    try:
+        with open(path, "rb") as fh:
+            result = pickle.load(fh)
+    except FileNotFoundError:
+        STATS.count("run_misses")
+        return None
+    except _CORRUPT_ERRORS:
+        STATS.count("corrupt")
+        STATS.count("run_misses")
+        _discard(path)
+        return None
+    finally:
+        STATS.time("lookup_seconds", time.perf_counter() - started)
+    STATS.count("run_hits")
+    return result
+
+
+def store_run(path: str, result) -> None:
+    started = time.perf_counter()
+    blob = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+    with FileLock(path):
+        _atomic_write(path, blob)
+    STATS.count("stores")
+    STATS.time("store_seconds", time.perf_counter() - started)
+
+
+def prune(cache_dir: str | None = None) -> int:
+    """Housekeeping: delete stale lock files and temp droppings.
+
+    Content addressing means superseded archives are never served, so
+    pruning is purely about disk space; returns the number removed.
+    """
+    cache_dir = resolve_dir(cache_dir)
+    if not cache_dir or not os.path.isdir(cache_dir):
+        return 0
+    removed = 0
+    for sub in ("traces", "runs"):
+        directory = os.path.join(cache_dir, sub)
+        if not os.path.isdir(directory):
+            continue
+        for name in os.listdir(directory):
+            if name.endswith(".lock") or name.startswith(".tmp-"):
+                try:
+                    os.remove(os.path.join(directory, name))
+                    removed += 1
+                except OSError:
+                    pass
+    return removed

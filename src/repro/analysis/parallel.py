@@ -1,0 +1,209 @@
+"""Parallel experiment scheduler.
+
+Experiments declare the (workload, scale, mode, config) combinations
+they will measure as :class:`Job` descriptors — plain frozen dataclasses
+that pickle cleanly under the ``spawn`` start method.  The scheduler
+fans the deduplicated job list out over a ``ProcessPoolExecutor`` whose
+workers populate the shared content-addressed cache
+(:mod:`repro.analysis.cache`); the experiments themselves then run
+serially against a warm cache, so parallel and serial invocations
+produce byte-identical output while a cold full-suite run scales with
+cores.
+
+Workers ship per-job timing and cache-stats deltas back to the parent,
+which streams progress lines and aggregates the counters for the run
+summary.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+
+from . import cache
+
+#: Job kinds and the runner entry point each one exercises.
+KINDS = ("trace", "run", "oracle")
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of schedulable work, hashable and spawn-safe.
+
+    ``mode`` is a mode name (or a ``("counter", n)`` tuple) and
+    ``options`` a sorted tuple of extra ``run_vm`` keyword pairs, so two
+    textually different declarations of the same measurement compare
+    (and deduplicate) equal.
+    """
+
+    kind: str
+    workload: str
+    scale: str = "s1"
+    mode: object = "jit"
+    options: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown job kind {self.kind!r}")
+
+    def describe(self) -> str:
+        opts = " ".join(f"{k}={v}" for k, v in self.options)
+        mode = "" if self.kind == "oracle" else f"/{self.mode}"
+        return (f"{self.kind:6s} {self.workload}/{self.scale}{mode}"
+                + (f" [{opts}]" if opts else ""))
+
+
+def trace_job(workload: str, scale: str = "s1", mode: str = "jit") -> Job:
+    """A job that records (and caches) one full native trace."""
+    return Job("trace", workload, scale, mode)
+
+
+def run_job(workload: str, scale: str = "s1", mode="jit", **options) -> Job:
+    """A job that executes (and caches) one non-recording VM run."""
+    return Job("run", workload, scale, mode,
+               tuple(sorted(options.items())))
+
+
+def oracle_job(workload: str, scale: str = "s1") -> Job:
+    """A job covering the interp + JIT profile runs and the mixed-mode
+    oracle run they induce."""
+    return Job("oracle", workload, scale, "oracle")
+
+
+def trace_jobs(benchmarks, scale: str = "s1",
+               modes=("interp", "jit")) -> list[Job]:
+    """Trace jobs for each benchmark under each mode (the common
+    shape of the cache/branch/pipeline experiments)."""
+    return [trace_job(n, scale, m) for n in benchmarks for m in modes]
+
+
+def dedupe(jobs) -> list[Job]:
+    """Drop duplicate jobs, preserving first-seen order."""
+    seen: set[Job] = set()
+    out: list[Job] = []
+    for job in jobs:
+        if job not in seen:
+            seen.add(job)
+            out.append(job)
+    return out
+
+
+def execute_job(job: Job, cache_dir: str | None = None) -> dict:
+    """Run one job (in a worker or inline), returning its outcome.
+
+    The useful side effect is cache population; the outcome carries
+    timing plus the cache-stats delta so the parent can aggregate
+    hit/miss counters across processes.
+    """
+    from . import runner  # late import: workers pay it once
+
+    before = cache.STATS.snapshot()
+    started = time.perf_counter()
+    error = None
+    try:
+        if job.kind == "trace":
+            runner.get_trace(job.workload, job.scale, job.mode,
+                             cache_dir=cache_dir)
+        elif job.kind == "run":
+            runner.run_vm(job.workload, scale=job.scale, mode=job.mode,
+                          cache_dir=cache_dir, **dict(job.options))
+        else:
+            runner.oracle_run(job.workload, job.scale, cache_dir=cache_dir)
+    except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+        error = f"{type(exc).__name__}: {exc}"
+    return {
+        "job": job,
+        "seconds": time.perf_counter() - started,
+        "stats": cache.CacheStats.diff(cache.STATS.snapshot(), before),
+        "error": error,
+    }
+
+
+def _worker_init(path: list) -> None:
+    """Make ``repro`` importable in spawn children even when the parent
+    got it from a PYTHONPATH/sys.path edit the child does not inherit."""
+    for entry in reversed(path):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+
+
+class RunSummary:
+    """Aggregate of one scheduling pass."""
+
+    def __init__(self) -> None:
+        self.outcomes: list[dict] = []
+        self.stats = cache.CacheStats()
+        self.wall_seconds = 0.0
+
+    @property
+    def errors(self) -> list[dict]:
+        return [o for o in self.outcomes if o["error"]]
+
+    @property
+    def cpu_seconds(self) -> float:
+        return sum(o["seconds"] for o in self.outcomes)
+
+    def format_summary(self) -> str:
+        return (
+            f"{len(self.outcomes)} jobs in {self.wall_seconds:.1f}s wall "
+            f"({self.cpu_seconds:.1f}s cpu, {len(self.errors)} errors); "
+            + self.stats.format_summary()
+        )
+
+
+def run_jobs(
+    jobs,
+    max_workers: int = 1,
+    cache_dir: str | None = None,
+    progress=None,
+) -> RunSummary:
+    """Execute ``jobs`` (deduplicated) and return the aggregate summary.
+
+    ``max_workers <= 1`` executes inline; otherwise a spawn-based
+    ``ProcessPoolExecutor`` shares the on-disk cache across workers.
+    ``progress(i, total, outcome)`` is called as each job completes.
+    """
+    jobs = dedupe(jobs)
+    summary = RunSummary()
+    started = time.perf_counter()
+    total = len(jobs)
+
+    def finish(i: int, outcome: dict) -> None:
+        summary.outcomes.append(outcome)
+        summary.stats.merge(outcome["stats"])
+        if progress is not None:
+            progress(i, total, outcome)
+
+    if max_workers <= 1 or total <= 1:
+        for i, job in enumerate(jobs, 1):
+            finish(i, execute_job(job, cache_dir))
+        summary.wall_seconds = time.perf_counter() - started
+        return summary
+
+    max_workers = min(max_workers, total, (os.cpu_count() or 1) * 2)
+    with ProcessPoolExecutor(
+        max_workers=max_workers,
+        mp_context=get_context("spawn"),
+        initializer=_worker_init,
+        initargs=(list(sys.path),),
+    ) as pool:
+        pending = {pool.submit(execute_job, job, cache_dir): job
+                   for job in jobs}
+        done_count = 0
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in done:
+                job = pending.pop(fut)
+                done_count += 1
+                try:
+                    outcome = fut.result()
+                except Exception as exc:  # pragma: no cover - pool failure
+                    outcome = {"job": job, "seconds": 0.0, "stats": {},
+                               "error": f"{type(exc).__name__}: {exc}"}
+                finish(done_count, outcome)
+    summary.wall_seconds = time.perf_counter() - started
+    return summary

@@ -2,15 +2,21 @@
 
 ``run_vm`` executes one workload under one configuration and returns the
 :class:`~repro.vm.machine.VMResult`.  ``get_trace`` additionally records
-the full native trace, with a transparent on-disk cache — every
-experiment replays the same (deterministic) traces through different
-simulators, so recording each (workload, scale, mode) once pays off
-across the whole harness.
+the full native trace.  Both are backed by a transparent on-disk cache
+(:mod:`repro.analysis.cache`): every experiment replays the same
+deterministic traces through different simulators, so recording each
+(workload, scale, mode, config) once pays off across the whole harness
+— and across concurrent worker processes, which share one
+content-addressed store.
+
+Cache entries are addressed by a hash of the trace-affecting module
+sources plus the full job configuration; there is no version constant to
+bump.  Set ``REPRO_TRACE_CACHE=""`` (or pass ``cache_dir=""``) to
+disable caching; the environment variable is consulted at *call* time,
+so tests can redirect the cache per-test.
 """
 
 from __future__ import annotations
-
-import os
 
 from ..native.trace import Trace
 from ..sync import LOCK_MANAGERS
@@ -23,13 +29,8 @@ from ..vm.strategy import (
     Strategy,
 )
 from ..workloads.base import get_workload
+from . import cache
 from .hybrid import OracleAnalysis
-
-#: Bump when trace-affecting code changes to invalidate cached archives.
-CACHE_VERSION = 10
-
-#: Default cache directory (created on demand; set to None to disable).
-DEFAULT_CACHE_DIR = os.environ.get("REPRO_TRACE_CACHE", ".trace_cache")
 
 MODES = ("interp", "jit")
 
@@ -49,6 +50,16 @@ def make_strategy(mode, oracle_set=None) -> Strategy:
     raise ValueError(f"unknown mode {mode!r}")
 
 
+def mode_token(mode) -> str | None:
+    """A stable string for a mode, or ``None`` when it cannot be keyed
+    (ad-hoc :class:`Strategy` instances are not content-addressable)."""
+    if isinstance(mode, str):
+        return mode
+    if isinstance(mode, tuple) and len(mode) == 2 and mode[0] == "counter":
+        return f"counter{int(mode[1])}"
+    return None
+
+
 def run_vm(
     workload: str,
     scale: str = "s1",
@@ -59,8 +70,35 @@ def run_vm(
     profile: bool = True,
     oracle_set: set | None = None,
     folding: bool = False,
+    cache_dir: str | None = None,
 ) -> VMResult:
-    """Build a fresh VM for the workload and run it to completion."""
+    """Build a fresh VM for the workload and run it to completion.
+
+    Non-recording runs with nameable modes are served from the
+    content-addressed result cache when one is configured
+    (``cache_dir=None`` resolves ``REPRO_TRACE_CACHE`` at call time;
+    pass ``""`` to force a fresh run).  Runs are deterministic, so a
+    cached result is byte-identical to a fresh one.
+    """
+    token = mode_token(mode)
+    resolved = None if record or token is None else cache.resolve_dir(cache_dir)
+    path = None
+    if resolved:
+        key = cache.cache_key(
+            "run",
+            workload=workload,
+            scale=scale,
+            mode=token,
+            lock_manager=lock_manager,
+            inline=inline,
+            profile=profile,
+            folding=folding,
+            oracle=sorted(oracle_set) if oracle_set else None,
+        )
+        path = cache.run_path(resolved, workload, scale, token, key)
+        cached = cache.load_run(path)
+        if cached is not None:
+            return cached
     program = get_workload(workload).build(scale)
     vm = JavaVM(
         program,
@@ -71,47 +109,57 @@ def run_vm(
         profile=profile,
         folding=folding,
     )
-    return vm.run()
-
-
-def _cache_path(cache_dir: str, workload: str, scale: str, mode: str) -> str:
-    return os.path.join(
-        cache_dir, f"{workload}-{scale}-{mode}-v{CACHE_VERSION}.npz"
-    )
+    result = vm.run()
+    if path:
+        cache.store_run(path, result)
+    return result
 
 
 def get_trace(
     workload: str,
     scale: str = "s1",
     mode: str = "jit",
-    cache_dir: str | None = DEFAULT_CACHE_DIR,
+    cache_dir: str | None = None,
 ) -> Trace:
-    """Full native trace for (workload, scale, mode), cached on disk."""
-    if cache_dir:
-        path = _cache_path(cache_dir, workload, scale, mode)
-        if os.path.exists(path):
-            return Trace.load(path)
+    """Full native trace for (workload, scale, mode), cached on disk.
+
+    ``cache_dir=None`` resolves ``REPRO_TRACE_CACHE`` at call time;
+    pass ``""`` to disable the cache for this call.
+    """
+    resolved = cache.resolve_dir(cache_dir)
+    path = None
+    if resolved:
+        key = cache.cache_key("trace", workload=workload, scale=scale,
+                              mode=mode)
+        path = cache.trace_path(resolved, workload, scale, mode, key)
+        trace = cache.load_trace(path)
+        if trace is not None:
+            return trace
     folding = mode.endswith("-fold")
     vm_mode = mode[:-5] if folding else mode
     result = run_vm(workload, scale=scale, mode=vm_mode, record=True,
                     profile=False, folding=folding)
     trace = result.trace
-    if cache_dir:
-        os.makedirs(cache_dir, exist_ok=True)
-        trace.save(_cache_path(cache_dir, workload, scale, mode))
+    if path:
+        cache.store_trace(path, trace)
     return trace
 
 
-def oracle_analysis(workload: str, scale: str = "s1") -> OracleAnalysis:
+def oracle_analysis(workload: str, scale: str = "s1",
+                    cache_dir: str | None = None) -> OracleAnalysis:
     """Profile interpreter and JIT runs; return the opt-model analysis."""
-    interp = run_vm(workload, scale=scale, mode="interp")
-    jit = run_vm(workload, scale=scale, mode="jit")
+    interp = run_vm(workload, scale=scale, mode="interp",
+                    cache_dir=cache_dir)
+    jit = run_vm(workload, scale=scale, mode="jit", cache_dir=cache_dir)
     return OracleAnalysis(interp, jit)
 
 
-def oracle_run(workload: str, scale: str = "s1") -> tuple[OracleAnalysis, VMResult]:
+def oracle_run(workload: str, scale: str = "s1",
+               cache_dir: str | None = None
+               ) -> tuple[OracleAnalysis, VMResult]:
     """The opt analysis plus a *real* mixed-mode run enacting it."""
-    analysis = oracle_analysis(workload, scale)
+    analysis = oracle_analysis(workload, scale, cache_dir=cache_dir)
     mixed = run_vm(workload, scale=scale, mode="oracle",
-                   oracle_set=analysis.methods_to_compile)
+                   oracle_set=analysis.methods_to_compile,
+                   cache_dir=cache_dir)
     return analysis, mixed

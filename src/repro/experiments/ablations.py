@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.parallel import oracle_job, run_job, trace_job, trace_jobs
 from ..analysis.runner import get_trace, oracle_run, run_vm
 from ..arch.caches import simulate_split_l1
 from ..native.layout import CODE_CACHE_BASE, CODE_CACHE_SIZE
@@ -21,9 +22,19 @@ from ..workloads.base import SPEC_BENCHMARKS
 from .base import ExperimentResult, experiment
 
 _STRATEGY_BENCHMARKS = ("db", "javac", "compress")
+_THRESHOLDS = (2, 4, 16)
 
 
-@experiment("ablation_strategy")
+def _strategy_jobs(scale: str = "s1", benchmarks=None) -> list:
+    jobs = []
+    for name in benchmarks or _STRATEGY_BENCHMARKS:
+        jobs.append(oracle_job(name, scale))
+        jobs.extend(run_job(name, scale, ("counter", t))
+                    for t in _THRESHOLDS)
+    return jobs
+
+
+@experiment("ablation_strategy", jobs=_strategy_jobs)
 def run_strategy(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     """Counter thresholds vs first-use JIT vs oracle."""
     benchmarks = benchmarks or _STRATEGY_BENCHMARKS
@@ -32,7 +43,7 @@ def run_strategy(scale: str = "s1", benchmarks=None) -> ExperimentResult:
         analysis, mixed = oracle_run(name, scale)
         jit_total = analysis.jit_result.cycles
         row = [name, 1.0]
-        for threshold in (2, 4, 16):
+        for threshold in _THRESHOLDS:
             res = run_vm(name, scale=scale, mode=("counter", threshold))
             row.append(round(res.cycles / jit_total, 3))
         row.append(round(analysis.interp_result.cycles / jit_total, 3))
@@ -54,7 +65,11 @@ def run_strategy(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     )
 
 
-@experiment("ablation_install")
+def _install_jobs(scale: str = "s1", benchmarks=None) -> list:
+    return [trace_job(n, scale, "jit") for n in benchmarks or SPEC_BENCHMARKS]
+
+
+@experiment("ablation_install", jobs=_install_jobs)
 def run_install(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     """Bound on the Section 6 generate-into-I-cache proposal."""
     benchmarks = benchmarks or SPEC_BENCHMARKS
@@ -103,10 +118,19 @@ def run_install(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     )
 
 
-@experiment("ablation_locks")
+_LOCK_BENCHMARKS = ("jack", "db", "jess", "mtrt")
+
+
+def _lock_jobs(scale: str = "s1", benchmarks=None) -> list:
+    return [run_job(n, scale, "jit", lock_manager=mgr, profile=False)
+            for n in benchmarks or _LOCK_BENCHMARKS
+            for mgr in ("monitor-cache", "thin-lock", "one-bit-lock")]
+
+
+@experiment("ablation_locks", jobs=_lock_jobs)
 def run_locks(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     """Monitor cache vs thin lock vs 1-bit lock, total sync cycles."""
-    benchmarks = benchmarks or ("jack", "db", "jess", "mtrt")
+    benchmarks = benchmarks or _LOCK_BENCHMARKS
     rows = []
     for name in benchmarks:
         cycles = {}
@@ -135,10 +159,19 @@ def run_locks(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     )
 
 
-@experiment("ablation_inline")
+_INLINE_BENCHMARKS = ("db", "javac", "mpegaudio")
+
+
+def _inline_jobs(scale: str = "s1", benchmarks=None) -> list:
+    return [run_job(n, scale, "jit", inline=flag, profile=False)
+            for n in benchmarks or _INLINE_BENCHMARKS
+            for flag in (True, False)]
+
+
+@experiment("ablation_inline", jobs=_inline_jobs)
 def run_inline(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     """JIT inlining on/off."""
-    benchmarks = benchmarks or ("db", "javac", "mpegaudio")
+    benchmarks = benchmarks or _INLINE_BENCHMARKS
     rows = []
     for name in benchmarks:
         on = run_vm(name, scale=scale, mode="jit", inline=True, profile=False)
@@ -165,7 +198,14 @@ def run_inline(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     )
 
 
-@experiment("ablation_indirect")
+_INDIRECT_BENCHMARKS = ("compress", "db", "jess")
+
+
+def _indirect_jobs(scale: str = "s1", benchmarks=None) -> list:
+    return trace_jobs(benchmarks or _INDIRECT_BENCHMARKS, scale)
+
+
+@experiment("ablation_indirect", jobs=_indirect_jobs)
 def run_indirect(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     """Section 6's recommendation: an indirect-branch predictor for the
     interpreter.  BTB vs two-level target cache on the dispatch jump."""
@@ -186,7 +226,7 @@ def run_indirect(scale: str = "s1", benchmarks=None) -> ExperimentResult:
         def update(self, pc, target):
             self._targets[pc] = target
 
-    benchmarks = benchmarks or ("compress", "db", "jess")
+    benchmarks = benchmarks or _INDIRECT_BENCHMARKS
     rows = []
     gains = []
     for name in benchmarks:
@@ -227,14 +267,22 @@ def run_indirect(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     )
 
 
-@experiment("ablation_folding")
+_FOLDING_BENCHMARKS = ("compress", "jess", "mpegaudio")
+
+
+def _folding_jobs(scale: str = "s1", benchmarks=None) -> list:
+    return trace_jobs(benchmarks or _FOLDING_BENCHMARKS, scale,
+                      modes=("interp", "interp-fold"))
+
+
+@experiment("ablation_folding", jobs=_folding_jobs)
 def run_folding(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     """Section 4.4's proposal: a folding interpreter (picoJava-style
     grouping of simple bytecodes under one dispatch)."""
     from ..arch.branch import compare_predictors
     from ..arch.pipeline import ipc_by_width
 
-    benchmarks = benchmarks or ("compress", "jess", "mpegaudio")
+    benchmarks = benchmarks or _FOLDING_BENCHMARKS
     rows = []
     savings = []
     for name in benchmarks:
@@ -277,14 +325,21 @@ def run_folding(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     )
 
 
-@experiment("ablation_victim")
+_VICTIM_BENCHMARKS = ("javac", "db", "compress")
+
+
+def _victim_jobs(scale: str = "s1", benchmarks=None) -> list:
+    return trace_jobs(benchmarks or _VICTIM_BENCHMARKS, scale)
+
+
+@experiment("ablation_victim", jobs=_victim_jobs)
 def run_victim(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     """Figure 7 follow-on: the 1-way -> 2-way step dominates the
     associativity sweep; a small victim buffer (Jouppi) recovers most of
     that step on a direct-mapped cache."""
     from ..arch.caches import CacheConfig, CacheSim
 
-    benchmarks = benchmarks or ("javac", "db", "compress")
+    benchmarks = benchmarks or _VICTIM_BENCHMARKS
     rows = []
     recovered = []
     for name in benchmarks:

@@ -4,6 +4,12 @@ Every experiment module exposes ``run(scale=..., benchmarks=...) ->
 ExperimentResult`` and registers itself under its paper id (``fig1``,
 ``table2``...).  Results carry the rows the paper reports plus an ASCII
 rendering, and record the paper's expected shape for EXPERIMENTS.md.
+
+Experiments additionally *declare* the measurements they will perform
+as a job list (``@experiment("fig3", jobs=_jobs)``) — spawn-safe
+:class:`~repro.analysis.parallel.Job` descriptors the CLI can fan out
+over a worker pool to pre-warm the shared content-addressed cache
+before the (deterministic) serial rendering pass.
 """
 
 from __future__ import annotations
@@ -65,15 +71,40 @@ class ExperimentResult:
 _REGISTRY: dict[str, Callable] = {}
 
 
-def experiment(exp_id: str):
-    """Register an experiment ``run`` function under a paper id."""
+def _no_jobs(scale: str = "s1", benchmarks=None) -> list:
+    return []
+
+
+def experiment(exp_id: str, jobs: Callable | None = None):
+    """Register an experiment ``run`` function under a paper id.
+
+    ``jobs(scale=..., benchmarks=...)`` declares the Job descriptors the
+    run will need, so a scheduler can compute them in parallel first.
+    """
 
     def deco(fn):
         fn.exp_id = exp_id
+        fn.jobs = jobs or _no_jobs
         _REGISTRY[exp_id] = fn
         return fn
 
     return deco
+
+
+def jobs_for(exp_id: str, scale: str = "s1", benchmarks=None) -> list:
+    """The declared job list of one experiment."""
+    return list(get_experiment(exp_id).jobs(scale=scale,
+                                            benchmarks=benchmarks))
+
+
+def collect_jobs(exp_ids, scale: str = "s1", benchmarks=None) -> list:
+    """Deduplicated union of the job lists of several experiments."""
+    from ..analysis.parallel import dedupe
+
+    jobs = []
+    for exp_id in exp_ids:
+        jobs.extend(jobs_for(exp_id, scale=scale, benchmarks=benchmarks))
+    return dedupe(jobs)
 
 
 def get_experiment(exp_id: str) -> Callable:

@@ -2,15 +2,25 @@
 
 Regenerates any of the paper's tables/figures (or all of them) and
 prints the rows the paper reports.
+
+With ``--jobs N`` the declared (workload, scale, mode, config) job
+lists of the selected experiments are deduplicated and fanned out over
+``N`` worker processes to pre-warm the shared content-addressed cache;
+the rendering pass then runs serially against a warm cache, so parallel
+output is identical to a serial run.  Every invocation ends with the
+cache hit/miss/latency summary.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
-from .base import all_experiments, get_experiment
+from ..analysis import cache
+from ..analysis.parallel import run_jobs
+from .base import all_experiments, collect_jobs, get_experiment
 
 #: Order used by ``all``: cheap scalar experiments first.
 DEFAULT_ORDER = (
@@ -22,6 +32,17 @@ DEFAULT_ORDER = (
     "ablation_inline", "ablation_indirect", "ablation_folding",
     "ablation_victim",
 )
+
+
+def _progress(i: int, total: int, outcome: dict) -> None:
+    job = outcome["job"]
+    stats = outcome["stats"]
+    computed = (stats.get("trace_misses", 0) + stats.get("run_misses", 0)) > 0
+    note = "computed" if computed else "cached"
+    if outcome["error"]:
+        note = f"ERROR {outcome['error']}"
+    print(f"[{i:3d}/{total}] {job.describe():44s} "
+          f"{outcome['seconds']:6.1f}s  {note}", flush=True)
 
 
 def main(argv=None) -> int:
@@ -41,9 +62,21 @@ def main(argv=None) -> int:
                         help="workload input scale (default s1)")
     parser.add_argument("--benchmarks", default=None,
                         help="comma-separated benchmark subset")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the cache pre-warm pass "
+                             "(default 1 = fully serial)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="trace/result cache directory (default: "
+                             "$REPRO_TRACE_CACHE or .trace_cache; "
+                             "'' disables caching)")
     parser.add_argument("--json", default=None, metavar="FILE",
                         help="also dump all results as JSON")
     args = parser.parse_args(argv)
+
+    if args.cache_dir is not None:
+        # Call-time resolution means the whole run (and its spawned
+        # workers, which inherit the environment) picks this up.
+        os.environ["REPRO_TRACE_CACHE"] = args.cache_dir
 
     available = all_experiments()
     if args.ids == ["list"] or args.ids == []:
@@ -55,7 +88,26 @@ def main(argv=None) -> int:
         ids = [e for e in DEFAULT_ORDER if e in available]
 
     benchmarks = args.benchmarks.split(",") if args.benchmarks else None
+    cache.reset_stats()
     status = 0
+
+    known_ids = [e for e in ids if e in available]
+    prewarm = None
+    if args.jobs > 1 and known_ids:
+        jobs = collect_jobs(known_ids, scale=args.scale,
+                            benchmarks=benchmarks)
+        if jobs:
+            print(f"pre-warming cache: {len(jobs)} jobs on "
+                  f"{args.jobs} workers")
+            prewarm = run_jobs(jobs, max_workers=args.jobs,
+                               cache_dir=args.cache_dir,
+                               progress=_progress)
+            print(f"pre-warm: {prewarm.format_summary()}")
+            print()
+            for outcome in prewarm.errors:
+                print(f"pre-warm error in {outcome['job'].describe()}: "
+                      f"{outcome['error']}", file=sys.stderr)
+
     collected = []
     for exp_id in ids:
         try:
@@ -75,6 +127,12 @@ def main(argv=None) -> int:
         with open(args.json, "w") as fh:
             json.dump([r.to_dict() for r in collected], fh, indent=2)
         print(f"wrote {len(collected)} results to {args.json}")
+
+    totals = cache.CacheStats()
+    totals.merge(cache.STATS.snapshot())
+    if prewarm is not None:
+        totals.merge(prewarm.stats.snapshot())
+    print(f"run summary: {totals.format_summary()}")
     return status
 
 

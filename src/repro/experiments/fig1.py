@@ -9,13 +9,18 @@ the paper's bars.
 from __future__ import annotations
 
 from ..analysis.hybrid import OracleAnalysis
+from ..analysis.parallel import oracle_job
 from ..analysis.report import format_stacked_bars
 from ..analysis.runner import oracle_run
 from ..workloads.base import FIG1_BENCHMARKS
 from .base import ExperimentResult, experiment
 
 
-@experiment("fig1")
+def _jobs(scale: str = "s1", benchmarks=None) -> list:
+    return [oracle_job(n, scale) for n in benchmarks or FIG1_BENCHMARKS]
+
+
+@experiment("fig1", jobs=_jobs)
 def run(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     benchmarks = benchmarks or FIG1_BENCHMARKS
     rows = []

@@ -10,13 +10,22 @@
 
 from __future__ import annotations
 
+from ..analysis.parallel import run_job
 from ..analysis.runner import run_vm
 from ..sync.base import ALL_CASES
 from ..workloads.base import SPEC_BENCHMARKS
 from .base import ExperimentResult, experiment
 
+_MANAGERS = ("monitor-cache", "thin-lock", "one-bit-lock")
 
-@experiment("fig11")
+
+def _jobs(scale: str = "s1", benchmarks=None) -> list:
+    return [run_job(n, scale, "jit", lock_manager=mgr, profile=False)
+            for n in benchmarks or SPEC_BENCHMARKS
+            for mgr in _MANAGERS]
+
+
+@experiment("fig11", jobs=_jobs)
 def run(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     benchmarks = benchmarks or SPEC_BENCHMARKS
     rows = []
@@ -24,7 +33,7 @@ def run(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     case_a = []
     for name in benchmarks:
         per_mgr = {}
-        for mgr in ("monitor-cache", "thin-lock", "one-bit-lock"):
+        for mgr in _MANAGERS:
             result = run_vm(name, scale=scale, mode="jit",
                             lock_manager=mgr, profile=False)
             per_mgr[mgr] = result

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.mix import indirect_fraction, mix_from_counts, summarize
+from ..analysis.parallel import run_job
 from ..analysis.runner import run_vm
 from ..native.nisa import N_CATEGORIES
 from ..workloads.base import SPEC_BENCHMARKS
@@ -18,7 +19,13 @@ from ..workloads.native_reference import PROFILES, generate_reference_trace
 from .base import ExperimentResult, experiment
 
 
-@experiment("fig2")
+def _jobs(scale: str = "s1", benchmarks=None) -> list:
+    return [run_job(n, scale, mode, profile=False)
+            for mode in ("interp", "jit")
+            for n in benchmarks or SPEC_BENCHMARKS]
+
+
+@experiment("fig2", jobs=_jobs)
 def run(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     benchmarks = benchmarks or SPEC_BENCHMARKS
     rows = []

@@ -8,13 +8,18 @@ misses 50-90 % of all data misses.
 from __future__ import annotations
 
 from ..analysis.report import format_bars
+from ..analysis.parallel import trace_jobs
 from ..analysis.runner import get_trace
 from ..arch.caches import simulate_split_l1
 from ..workloads.base import SPEC_BENCHMARKS
 from .base import ExperimentResult, experiment
 
 
-@experiment("fig3")
+def _jobs(scale: str = "s1", benchmarks=None) -> list:
+    return trace_jobs(benchmarks or SPEC_BENCHMARKS, scale)
+
+
+@experiment("fig3", jobs=_jobs)
 def run(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     benchmarks = benchmarks or SPEC_BENCHMARKS
     rows = []

@@ -10,6 +10,7 @@ object-oriented nature.
 
 from __future__ import annotations
 
+from ..analysis.parallel import trace_jobs
 from ..analysis.runner import get_trace
 from ..arch.caches import simulate_split_l1
 from ..workloads.base import SPEC_BENCHMARKS
@@ -17,7 +18,11 @@ from ..workloads.native_reference import PROFILES, generate_reference_trace
 from .base import ExperimentResult, experiment
 
 
-@experiment("fig4")
+def _jobs(scale: str = "s1", benchmarks=None) -> list:
+    return trace_jobs(benchmarks or SPEC_BENCHMARKS, scale)
+
+
+@experiment("fig4", jobs=_jobs)
 def run(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     benchmarks = benchmarks or SPEC_BENCHMARKS
     rows = []

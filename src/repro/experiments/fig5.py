@@ -9,13 +9,18 @@ writes (code generation/installation).
 
 from __future__ import annotations
 
+from ..analysis.parallel import trace_jobs
 from ..analysis.runner import get_trace
 from ..arch.caches import simulate_split_l1
 from ..workloads.base import SPEC_BENCHMARKS
 from .base import ExperimentResult, experiment
 
 
-@experiment("fig5")
+def _jobs(scale: str = "s1", benchmarks=None) -> list:
+    return trace_jobs(benchmarks or SPEC_BENCHMARKS, scale, modes=("jit",))
+
+
+@experiment("fig5", jobs=_jobs)
 def run(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     benchmarks = benchmarks or SPEC_BENCHMARKS
     rows = []

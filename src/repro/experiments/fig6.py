@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.parallel import trace_jobs
 from ..analysis.runner import get_trace
 from ..arch.caches import simulate_split_l1
 from .base import ExperimentResult, experiment
@@ -18,7 +19,11 @@ from .base import ExperimentResult, experiment
 WINDOW = 2048
 
 
-@experiment("fig6")
+def _jobs(scale: str = "s1", benchmarks=None) -> list:
+    return trace_jobs([(benchmarks or ["db"])[0]], scale)
+
+
+@experiment("fig6", jobs=_jobs)
 def run(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     benchmark = (benchmarks or ["db"])[0]
     rows = []

@@ -6,6 +6,7 @@ the largest step from direct-mapped to 2-way.
 
 from __future__ import annotations
 
+from ..analysis.parallel import trace_jobs
 from ..analysis.runner import get_trace
 from ..arch.caches import simulate_split_l1
 from ..workloads.base import SPEC_BENCHMARKS
@@ -14,7 +15,11 @@ from .base import ExperimentResult, experiment
 ASSOCS = (1, 2, 4, 8)
 
 
-@experiment("fig7")
+def _jobs(scale: str = "s1", benchmarks=None) -> list:
+    return trace_jobs(benchmarks or SPEC_BENCHMARKS, scale)
+
+
+@experiment("fig7", jobs=_jobs)
 def run(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     benchmarks = benchmarks or SPEC_BENCHMARKS
     rows = []

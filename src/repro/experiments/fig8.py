@@ -8,6 +8,7 @@ JIT mode (object accesses of 16-42 bytes) favours 32-64 bytes.
 
 from __future__ import annotations
 
+from ..analysis.parallel import trace_jobs
 from ..analysis.runner import get_trace
 from ..arch.caches import simulate_split_l1
 from ..workloads.base import SPEC_BENCHMARKS
@@ -16,7 +17,11 @@ from .base import ExperimentResult, experiment
 LINE_SIZES = (16, 32, 64, 128)
 
 
-@experiment("fig8")
+def _jobs(scale: str = "s1", benchmarks=None) -> list:
+    return trace_jobs(benchmarks or SPEC_BENCHMARKS, scale)
+
+
+@experiment("fig8", jobs=_jobs)
 def run(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     benchmarks = benchmarks or SPEC_BENCHMARKS
     rows = []

@@ -8,6 +8,7 @@ because the dispatch switch's unpredictable target gates fetch.
 
 from __future__ import annotations
 
+from ..analysis.parallel import trace_jobs
 from ..analysis.runner import get_trace
 from ..arch.pipeline import ipc_by_width
 from ..workloads.base import SPEC_BENCHMARKS
@@ -16,7 +17,11 @@ from .base import ExperimentResult, experiment
 WIDTHS = (1, 2, 4, 8)
 
 
-@experiment("fig9")
+def _jobs(scale: str = "s1", benchmarks=None) -> list:
+    return trace_jobs(benchmarks or SPEC_BENCHMARKS, scale)
+
+
+@experiment("fig9", jobs=_jobs)
 def run(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     benchmarks = benchmarks or SPEC_BENCHMARKS
     rows = []

@@ -14,14 +14,19 @@ from ..analysis.locality import (
     MethodLocality,
     method_sizes_of,
 )
+from ..analysis.parallel import run_job
+from ..analysis.runner import run_vm
 from ..isa.opcodes import N_OPCODES
-from ..vm.machine import JavaVM
-from ..vm.strategy import InterpretOnly
 from ..workloads.base import SPEC_BENCHMARKS, get_workload
 from .base import ExperimentResult, experiment
 
 
-@experiment("locality")
+def _jobs(scale: str = "s1", benchmarks=None) -> list:
+    return [run_job(n, scale, "interp")
+            for n in benchmarks or SPEC_BENCHMARKS]
+
+
+@experiment("locality", jobs=_jobs)
 def run(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     benchmarks = benchmarks or SPEC_BENCHMARKS
     rows = []
@@ -29,8 +34,7 @@ def run(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     small = []
     for name in benchmarks:
         program = get_workload(name).build(scale)
-        vm = JavaVM(program, strategy=InterpretOnly())
-        result = vm.run()
+        result = run_vm(name, scale=scale, mode="interp")
         bl = BytecodeLocality(result.opcode_counts)
         ml = MethodLocality(result.profiles, method_sizes_of(program))
         b = bl.summary()

@@ -13,15 +13,25 @@ saving shrinks as inputs grow.
 
 from __future__ import annotations
 
+from ..analysis.parallel import oracle_job
 from ..analysis.runner import oracle_analysis, run_vm
 from ..workloads.base import SCALES
 from .base import ExperimentResult, experiment
 
+_SCALE_BENCHMARKS = ("db", "javac", "compress")
 
-@experiment("scale_study")
+
+def _jobs(scale: str = "s1", benchmarks=None) -> list:
+    # The sweep itself is the experiment, so `scale` is ignored here too.
+    return [oracle_job(n, sc)
+            for n in benchmarks or _SCALE_BENCHMARKS
+            for sc in SCALES]
+
+
+@experiment("scale_study", jobs=_jobs)
 def run(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     # `scale` is ignored: the sweep itself is the experiment.
-    benchmarks = benchmarks or ("db", "javac", "compress")
+    benchmarks = benchmarks or _SCALE_BENCHMARKS
     rows = []
     monotone = 0
     checks = 0

@@ -12,9 +12,18 @@ invoked at s1 or larger.
 
 from __future__ import annotations
 
+from ..analysis.parallel import run_job
 from ..analysis.runner import run_vm
 from ..workloads.base import SPEC_BENCHMARKS
 from .base import ExperimentResult, experiment
+
+
+def _jobs(scale: str = "s1", benchmarks=None) -> list:
+    scales = (scale,) if scale == "s0" else (scale, "s10")
+    return [run_job(n, sc, mode, profile=False)
+            for n in benchmarks or SPEC_BENCHMARKS
+            for sc in scales
+            for mode in ("interp", "jit")]
 
 
 def _overhead(name: str, scale: str) -> tuple[float, float, dict]:
@@ -25,7 +34,7 @@ def _overhead(name: str, scale: str) -> tuple[float, float, dict]:
     return interp_kb, jit_kb, jit.footprint
 
 
-@experiment("table1")
+@experiment("table1", jobs=_jobs)
 def run(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     benchmarks = benchmarks or SPEC_BENCHMARKS
     include_s10 = scale != "s0"

@@ -8,6 +8,7 @@ the dispatch switch's indirect jumps.
 
 from __future__ import annotations
 
+from ..analysis.parallel import trace_jobs
 from ..analysis.runner import get_trace
 from ..arch.branch import PREDICTORS, extract_transfers, run_predictor
 from ..workloads.base import SPEC_BENCHMARKS
@@ -16,7 +17,11 @@ from .base import ExperimentResult, experiment
 PREDICTOR_ORDER = ("2bit", "bht", "gshare", "gap")
 
 
-@experiment("table2")
+def _jobs(scale: str = "s1", benchmarks=None) -> list:
+    return trace_jobs(benchmarks or SPEC_BENCHMARKS, scale)
+
+
+@experiment("table2", jobs=_jobs)
 def run(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     benchmarks = benchmarks or SPEC_BENCHMARKS
     rows = []

@@ -1,0 +1,78 @@
+"""Differential interp-vs-JIT harness.
+
+Perf claims are only trustworthy on top of a correctness net: for every
+workload the interpreter and the JIT must be *semantically
+indistinguishable* — identical program output, identical heap effects,
+identical synchronization effects.  The runs are deterministic, so any
+divergence is a real bug in one of the execution engines, not noise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.runner import run_vm
+from repro.workloads.base import all_workloads
+
+WORKLOADS = sorted(all_workloads())
+
+#: s0 covers every workload; s1 re-checks everything at the paper's scale.
+SCALES = ("s0", "s1")
+
+
+def _observables(result) -> dict:
+    """The mode-independent facts of one run."""
+    return {
+        "stdout": result.stdout,
+        "bytecodes": result.bytecodes_executed,
+        "classes_loaded": result.classes_loaded,
+        "heap": result.heap,
+        "sync_cases": result.sync["case_counts"],
+        "sync_acquires": result.sync["acquire_ops"],
+        "sync_releases": result.sync["release_ops"],
+        "sync_objects": result.sync["distinct_objects"],
+    }
+
+
+@pytest.mark.parametrize("scale", SCALES)
+@pytest.mark.parametrize("workload", WORKLOADS)
+class TestInterpVsJit:
+    def test_observables_identical(self, workload, scale):
+        interp = run_vm(workload, scale=scale, mode="interp")
+        jit = run_vm(workload, scale=scale, mode="jit")
+        oi, oj = _observables(interp), _observables(jit)
+        for key in oi:
+            assert oi[key] == oj[key], (
+                f"{workload}@{scale}: interp/jit diverge on {key}: "
+                f"{oi[key]!r} != {oj[key]!r}"
+            )
+        # The modes really were different executions, not two aliases.
+        assert interp.methods_compiled == 0
+        assert jit.methods_compiled > 0
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+class TestOtherEnginesAgree:
+    """The mixed-mode engines sit between the two poles and must agree
+    with both on every observable."""
+
+    def test_counter_threshold_matches(self, workload):
+        base = _observables(run_vm(workload, scale="s0", mode="interp"))
+        counter = _observables(
+            run_vm(workload, scale="s0", mode=("counter", 4))
+        )
+        assert counter == base
+
+    def test_folding_interpreter_matches(self, workload):
+        base = _observables(run_vm(workload, scale="s0", mode="interp"))
+        folded = _observables(
+            run_vm(workload, scale="s0", mode="interp", folding=True)
+        )
+        assert folded == base
+
+
+def test_stdout_nonempty_for_checksum_workloads():
+    """The net has teeth only if workloads actually print checksums."""
+    silent = [w for w in WORKLOADS
+              if not run_vm(w, scale="s0", mode="interp").stdout]
+    assert not silent, f"workloads with no observable output: {silent}"
