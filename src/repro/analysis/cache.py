@@ -36,7 +36,7 @@ import zipfile
 
 import numpy as np
 
-from ..native.trace import _COLUMNS, Trace
+from ..native.trace import Trace
 
 try:  # pragma: no cover - fcntl exists on every POSIX we target
     import fcntl
@@ -283,8 +283,10 @@ def _discard(path: str) -> None:
 
 def trace_path(cache_dir: str, workload: str, scale: str, mode: str,
                key: str) -> str:
+    # ``.npy`` record arrays reopen with ``mmap_mode="r"``: a warm
+    # lookup maps pages instead of decompressing the whole archive.
     return os.path.join(
-        cache_dir, "traces", f"{workload}-{scale}-{mode}-{key[:16]}.npz"
+        cache_dir, "traces", f"{workload}-{scale}-{mode}-{key[:16]}.npy"
     )
 
 
@@ -322,8 +324,9 @@ def load_trace(path: str) -> Trace | None:
 def store_trace(path: str, trace: Trace) -> None:
     started = time.perf_counter()
     buf = io.BytesIO()
-    # Trace.save's format, staged through memory so the write is atomic.
-    np.savez_compressed(buf, **{c: getattr(trace, c) for c in _COLUMNS})
+    # Trace.save's ``.npy`` format, staged through memory so the write
+    # is atomic.
+    np.save(buf, trace.to_records(), allow_pickle=False)
     with FileLock(path):
         _atomic_write(path, buf.getvalue())
     STATS.count("stores")

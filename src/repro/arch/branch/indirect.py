@@ -90,11 +90,13 @@ def run_indirect_predictor(predictor, pcs, cats, takens, targets) -> dict:
     address stack already handles those).
     """
     from ...native.nisa import NCat
+    from .predictors import _aslist
 
     IJUMP, ICALL = int(NCat.IJUMP), int(NCat.ICALL)
     total = 0
     correct = 0
-    for pc, cat, _taken, target in zip(pcs, cats, takens, targets):
+    for pc, cat, _taken, target in zip(_aslist(pcs), _aslist(cats),
+                                       _aslist(takens), _aslist(targets)):
         if cat != IJUMP and cat != ICALL:
             continue
         total += 1

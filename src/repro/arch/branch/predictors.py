@@ -18,6 +18,14 @@ from __future__ import annotations
 import numpy as np
 
 from ...native.nisa import NCat
+from ..kernels import active_kernel
+
+
+def _aslist(values) -> list:
+    """Plain Python list view of an array-like (fast-path lists)."""
+    if isinstance(values, list):
+        return values
+    return np.asarray(values).tolist()
 
 
 class TwoBitCounter:
@@ -49,6 +57,18 @@ class DirectionPredictor:
     def update(self, pc: int, taken: bool) -> None:
         raise NotImplementedError
 
+    def predict_batch(self, pcs, takens) -> np.ndarray:
+        """Predictions for a conditional-branch stream, advancing state
+        exactly as per-event predict/update would.  Subclasses override
+        with tight loops; this generic fallback keeps any custom
+        predictor usable under the vector kernel."""
+        out = []
+        append = out.append
+        for pc, taken in zip(_aslist(pcs), _aslist(takens)):
+            append(self.predict(pc))
+            self.update(pc, taken)
+        return np.asarray(out, dtype=bool)
+
 
 class SingleTwoBit(DirectionPredictor):
     """One shared 2-bit counter for every branch."""
@@ -66,6 +86,20 @@ class SingleTwoBit(DirectionPredictor):
             self._counter = min(3, self._counter + 1)
         else:
             self._counter = max(0, self._counter - 1)
+
+    def predict_batch(self, pcs, takens) -> np.ndarray:
+        counter = self._counter
+        out = []
+        append = out.append
+        for taken in _aslist(takens):
+            append(counter >= 2)
+            if taken:
+                if counter < 3:
+                    counter += 1
+            elif counter > 0:
+                counter -= 1
+        self._counter = counter
+        return np.asarray(out, dtype=bool)
 
 
 class BimodalBHT(DirectionPredictor):
@@ -87,6 +121,19 @@ class BimodalBHT(DirectionPredictor):
         i = self._index(pc)
         v = self._table[i]
         self._table[i] = min(3, v + 1) if taken else max(0, v - 1)
+
+    def predict_batch(self, pcs, takens) -> np.ndarray:
+        table = self._table
+        entries = self.entries
+        words = (np.asarray(pcs, dtype=np.int64) >> 2).tolist()
+        out = []
+        append = out.append
+        for word, taken in zip(words, _aslist(takens)):
+            i = word % entries
+            v = table[i]
+            append(v >= 2)
+            table[i] = min(3, v + 1) if taken else max(0, v - 1)
+        return np.asarray(out, dtype=bool)
 
 
 class Gshare(DirectionPredictor):
@@ -112,6 +159,23 @@ class Gshare(DirectionPredictor):
         v = self._table[i]
         self._table[i] = min(3, v + 1) if taken else max(0, v - 1)
         self._history = ((self._history << 1) | int(taken)) & self._mask
+
+    def predict_batch(self, pcs, takens) -> np.ndarray:
+        table = self._table
+        entries = self.entries
+        mask = self._mask
+        history = self._history
+        words = (np.asarray(pcs, dtype=np.int64) >> 2).tolist()
+        out = []
+        append = out.append
+        for word, taken in zip(words, _aslist(takens)):
+            i = (word ^ history) % entries
+            v = table[i]
+            append(v >= 2)
+            table[i] = min(3, v + 1) if taken else max(0, v - 1)
+            history = ((history << 1) | int(taken)) & mask
+        self._history = history
+        return np.asarray(out, dtype=bool)
 
 
 class GAp(DirectionPredictor):
@@ -143,6 +207,25 @@ class GAp(DirectionPredictor):
         v = self._counters[j]
         self._counters[j] = min(3, v + 1) if taken else max(0, v - 1)
         self._histories[i] = ((history << 1) | int(taken)) & self._hmask
+
+    def predict_batch(self, pcs, takens) -> np.ndarray:
+        histories = self._histories
+        counters = self._counters
+        l1 = self.l1_entries
+        l2 = self.l2_entries
+        hmask = self._hmask
+        words = (np.asarray(pcs, dtype=np.int64) >> 2).tolist()
+        out = []
+        append = out.append
+        for word, taken in zip(words, _aslist(takens)):
+            i = word % l1
+            history = histories[i]
+            j = history % l2
+            v = counters[j]
+            append(v >= 2)
+            counters[j] = min(3, v + 1) if taken else max(0, v - 1)
+            histories[i] = ((history << 1) | int(taken)) & hmask
+        return np.asarray(out, dtype=bool)
 
 
 class BTB:
@@ -208,13 +291,20 @@ class BranchSimResult:
 
 
 def extract_transfers(trace):
-    """(pc, cat, taken, target) arrays of the trace's control transfers."""
+    """(pc, cat, taken, target) arrays of the trace's control transfers.
+
+    Accepts a :class:`Trace` or an ``analysis.replay.TraceReplay`` (the
+    replay caches the extraction so every consumer shares it).
+    """
+    transfers = getattr(trace, "transfers", None)
+    if transfers is not None:
+        return transfers()
     mask = trace.is_transfer
     return (
-        trace.pc[mask].tolist(),
-        trace.cat[mask].tolist(),
-        trace.is_taken[mask].tolist(),
-        trace.target[mask].tolist(),
+        trace.pc[mask],
+        trace.cat[mask],
+        trace.is_taken[mask],
+        trace.target[mask],
     )
 
 
@@ -223,8 +313,16 @@ def run_predictor(
     pcs, cats, takens, targets,
     btb_entries: int = 1024,
     use_ras: bool = True,
+    kernel: str | None = None,
 ) -> BranchSimResult:
     """Drive one direction predictor + BTB (+RAS) over transfer events."""
+    if active_kernel(kernel) == "vector":
+        from .vector import BranchReplayContext, run_with_context
+        ctx = BranchReplayContext(pcs, cats, takens, targets,
+                                  btb_entries=btb_entries, use_ras=use_ras)
+        return run_with_context(predictor, ctx)
+    pcs, cats = _aslist(pcs), _aslist(cats)
+    takens, targets = _aslist(takens), _aslist(targets)
     btb = BTB(btb_entries)
     ras: list[int] = []
     result = BranchSimResult()
@@ -269,9 +367,24 @@ def run_predictor(
     return result
 
 
-def compare_predictors(trace, names=("2bit", "bht", "gshare", "gap")):
-    """Misprediction results for several predictors over one trace."""
+def compare_predictors(trace, names=("2bit", "bht", "gshare", "gap"),
+                       kernel=None):
+    """Misprediction results for several predictors over one trace.
+
+    Under the vector kernel all predictors share one replay context
+    (masks, BTB resolution, RAS replay are computed once).
+    """
+    if active_kernel(kernel) == "vector":
+        from .vector import BranchReplayContext, run_with_context
+        context = getattr(trace, "branch_context", None)
+        ctx = (context() if context is not None
+               else BranchReplayContext(*extract_transfers(trace)))
+        return {
+            name: run_with_context(PREDICTORS[name](), ctx)
+            for name in names
+        }
     events = extract_transfers(trace)
     return {
-        name: run_predictor(PREDICTORS[name](), *events) for name in names
+        name: run_predictor(PREDICTORS[name](), *events, kernel="scalar")
+        for name in names
     }

@@ -6,13 +6,18 @@ Trace-driven, write-allocate, LRU replacement.  Supports:
 - per-group attribution (e.g. translate vs. rest of JIT — Figure 5),
 - windowed time series of miss counts (Figure 6).
 
-The simulator is deliberately simple and exact; performance comes from
-processing whole numpy columns converted to Python lists once.
+Two kernels implement the same semantics bit-for-bit: the original
+event-at-a-time ``scalar`` loop (the reference oracle, kept below) and
+the batched numpy ``vector`` kernel in :mod:`.vector` (the default).
+Select per call with ``kernel=`` or globally with
+``REPRO_SIM_KERNEL=scalar|vector``.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from ..kernels import active_kernel
 
 
 def _is_pow2(x: int) -> bool:
@@ -124,6 +129,7 @@ class CacheSim:
         groups: np.ndarray | None = None,
         n_groups: int = 1,
         window: int = 0,
+        kernel: str | None = None,
     ) -> CacheStats:
         """Simulate a reference stream.
 
@@ -132,7 +138,15 @@ class CacheSim:
         a statistics group.
         ``window``: if > 0, also record a (refs, misses) time series with
         that many references per window.
+        ``kernel``: override the ``REPRO_SIM_KERNEL`` selection.
         """
+        if active_kernel(kernel) == "vector":
+            from .vector import run_vector
+            return run_vector(self, addrs, writes, groups, n_groups, window)
+        return self._run_scalar(addrs, writes, groups, n_groups, window)
+
+    def _run_scalar(self, addrs, writes, groups, n_groups, window) -> CacheStats:
+        """Reference oracle: the original event-at-a-time loop."""
         cfg = self.config
         block_shift = cfg.block.bit_length() - 1
         set_mask = cfg.n_sets - 1
@@ -209,8 +223,12 @@ class CacheSim:
 
 
 def simulate(addrs, writes=None, size=64 << 10, block=32, assoc=1,
-             groups=None, n_groups=1, window=0) -> CacheStats:
+             write_allocate=True, victim_entries=0,
+             groups=None, n_groups=1, window=0,
+             kernel=None) -> CacheStats:
     """One-shot convenience wrapper around :class:`CacheSim`."""
-    sim = CacheSim(CacheConfig(size, block, assoc))
+    sim = CacheSim(CacheConfig(size, block, assoc,
+                               write_allocate=write_allocate,
+                               victim_entries=victim_entries))
     return sim.run(addrs, writes=writes, groups=groups, n_groups=n_groups,
-                   window=window)
+                   window=window, kernel=kernel)

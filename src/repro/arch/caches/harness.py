@@ -49,6 +49,9 @@ def simulate_split_l1(
 ) -> SplitL1Result:
     """Run a trace through a split L1.
 
+    ``trace`` may be a :class:`Trace` or an
+    ``analysis.replay.TraceReplay`` (whose cached streams are shared by
+    every geometry swept over the same trace).
     ``attribute_translate=True`` produces two statistic groups per cache:
     group 0 = outside translate, group 1 = inside translate (Figure 5).
     ``window`` produces the Figure 6 time series.
@@ -56,7 +59,12 @@ def simulate_split_l1(
     icfg = CacheConfig(**{**DEFAULT_ICACHE, **(icache or {})})
     dcfg = CacheConfig(**{**DEFAULT_DCACHE, **(dcache or {})})
 
-    pcs, i_translate = instruction_stream(trace)
+    if hasattr(trace, "instruction_stream"):  # TraceReplay
+        pcs, i_translate = trace.instruction_stream()
+        addrs, writes, d_translate = trace.data_stream()
+    else:
+        pcs, i_translate = instruction_stream(trace)
+        addrs, writes, d_translate = data_stream(trace)
     isim = CacheSim(icfg)
     istats = isim.run(
         pcs,
@@ -65,7 +73,6 @@ def simulate_split_l1(
         window=window,
     )
 
-    addrs, writes, d_translate = data_stream(trace)
     dsim = CacheSim(dcfg)
     dstats = dsim.run(
         addrs,

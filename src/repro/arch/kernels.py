@@ -1,0 +1,33 @@
+"""Simulation-kernel selection.
+
+Every hot simulator (cache, branch, pipeline) has two implementations:
+
+- ``scalar`` — the original event-at-a-time Python loops, kept as the
+  reference oracle;
+- ``vector`` — batched numpy kernels that produce bit-identical
+  results (the default).
+
+The kernel is chosen per call: an explicit ``kernel=`` argument wins,
+then the ``REPRO_SIM_KERNEL`` environment variable (consulted at call
+time so tests and benchmarks can flip it), then the default.
+"""
+
+from __future__ import annotations
+
+import os
+
+KERNELS = ("scalar", "vector")
+
+ENV_VAR = "REPRO_SIM_KERNEL"
+
+DEFAULT_KERNEL = "vector"
+
+
+def active_kernel(override: str | None = None) -> str:
+    """Resolve the kernel to use for one simulator call."""
+    kernel = override or os.environ.get(ENV_VAR) or DEFAULT_KERNEL
+    if kernel not in KERNELS:
+        raise ValueError(
+            f"unknown simulation kernel {kernel!r}; expected one of {KERNELS}"
+        )
+    return kernel

@@ -1,0 +1,143 @@
+"""Kernel benchmark harness: scalar vs. vector replay wall-clock.
+
+Times the *analysis* phase of selected experiments (the figure/table
+``run`` functions) under each simulation kernel, against a warm trace
+cache but cold simulator state — the replay memo is dropped before
+every timed invocation, so each measurement includes trace load,
+stream derivation and simulation, exactly what a fresh CLI run pays.
+
+Each timing doubles as an equivalence check: the scalar and vector
+result dictionaries must be identical, or the benchmark fails.
+
+``python -m repro.bench`` writes the measurements as JSON
+(``BENCH_kernels.json``) and can compare the speedups against a
+committed baseline (``--check``), failing on regressions beyond a
+tolerance — ratios, not absolute seconds, so the check is
+machine-independent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from ..analysis.replay import clear_replay_memo
+from ..arch.kernels import ENV_VAR, KERNELS
+from ..experiments.base import collect_jobs, get_experiment
+
+#: The replay-dominated experiments the acceptance targets name.
+DEFAULT_TARGETS = ("fig3", "fig7", "table3")
+
+
+def _time_target(fn, kernel: str, repeats: int, scale: str,
+                 benchmarks) -> tuple[float, list[float], dict]:
+    """(best_seconds, all_seconds, result_dict) for one kernel."""
+    saved = os.environ.get(ENV_VAR)
+    os.environ[ENV_VAR] = kernel
+    try:
+        seconds = []
+        result = None
+        for _ in range(repeats):
+            clear_replay_memo()
+            started = time.perf_counter()
+            result = fn(scale=scale, benchmarks=benchmarks)
+            seconds.append(time.perf_counter() - started)
+    finally:
+        if saved is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = saved
+    return min(seconds), seconds, result.to_dict()
+
+
+def prewarm(targets, scale: str, benchmarks, max_workers: int = 1) -> None:
+    """Compute and cache every trace the targets will replay."""
+    from ..analysis.parallel import run_jobs
+
+    jobs = collect_jobs(targets, scale=scale, benchmarks=benchmarks)
+    if jobs:
+        run_jobs(jobs, max_workers=max_workers)
+
+
+def run_bench(targets=DEFAULT_TARGETS, scale: str = "s0",
+              benchmarks=None, repeats: int = 3,
+              progress=None) -> dict:
+    """Benchmark ``targets`` under every kernel.
+
+    Returns ``{"meta": ..., "targets": {id: {scalar_seconds,
+    vector_seconds, speedup, identical}}}``.  ``identical`` is the
+    scalar-vs-vector result comparison — the report keeps it per
+    target rather than raising, so one divergence doesn't hide the
+    other measurements.
+    """
+    say = progress or (lambda msg: None)
+    say(f"pre-warming trace cache for {', '.join(targets)} "
+        f"(scale={scale})")
+    prewarm(targets, scale, benchmarks)
+
+    report: dict = {
+        "meta": {
+            "scale": scale,
+            "benchmarks": list(benchmarks) if benchmarks else None,
+            "repeats": repeats,
+            "kernels": list(KERNELS),
+        },
+        "targets": {},
+    }
+    for exp_id in targets:
+        fn = get_experiment(exp_id)
+        entry: dict = {}
+        results = {}
+        for kernel in KERNELS:
+            best, runs, result = _time_target(fn, kernel, repeats,
+                                              scale, benchmarks)
+            entry[f"{kernel}_seconds"] = round(best, 4)
+            entry[f"{kernel}_runs"] = [round(s, 4) for s in runs]
+            results[kernel] = result
+            say(f"{exp_id:8s} {kernel:6s} best {best:7.3f}s "
+                f"of {len(runs)}")
+        entry["speedup"] = round(
+            entry["scalar_seconds"] / max(entry["vector_seconds"], 1e-9), 2
+        )
+        entry["identical"] = results["scalar"] == results["vector"]
+        say(f"{exp_id:8s} speedup {entry['speedup']:.2f}x "
+            f"identical={entry['identical']}")
+        report["targets"][exp_id] = entry
+    return report
+
+
+def check_regression(report: dict, baseline: dict,
+                     tolerance: float = 0.2) -> list[str]:
+    """Speedup regressions of ``report`` against ``baseline``.
+
+    A target regresses when its measured speedup falls below the
+    baseline speedup by more than ``tolerance`` (relative).  Absolute
+    times are never compared, so a slower CI machine doesn't fail the
+    check — only a kernel that lost its advantage does.
+    """
+    failures = []
+    for exp_id, base in baseline.get("targets", {}).items():
+        current = report["targets"].get(exp_id)
+        if current is None:
+            failures.append(f"{exp_id}: missing from benchmark run")
+            continue
+        floor = base["speedup"] * (1.0 - tolerance)
+        if current["speedup"] < floor:
+            failures.append(
+                f"{exp_id}: speedup {current['speedup']:.2f}x below "
+                f"floor {floor:.2f}x (baseline {base['speedup']:.2f}x, "
+                f"tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def save_report(report: dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_report(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)

@@ -1,0 +1,82 @@
+"""``python -m repro.bench`` — scalar-vs-vector kernel benchmarks.
+
+Examples::
+
+    python -m repro.bench --out BENCH_kernels.json
+    python -m repro.bench --scale s0 --benchmarks db,compress \
+        --repeats 2 --check benchmarks/bench_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from . import (DEFAULT_TARGETS, check_regression, load_report, run_bench,
+               save_report)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Benchmark the scalar vs. vector simulation kernels.",
+    )
+    parser.add_argument("--targets", default=",".join(DEFAULT_TARGETS),
+                        help="comma-separated experiment ids "
+                             f"(default {','.join(DEFAULT_TARGETS)})")
+    parser.add_argument("--scale", default="s1",
+                        choices=("s0", "s1", "s10"),
+                        help="workload input scale (default s1)")
+    parser.add_argument("--benchmarks", default=None,
+                        help="comma-separated benchmark subset")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repetitions per kernel; best is kept")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the report JSON here")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="compare speedups against a baseline report")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed relative speedup drop vs. the "
+                             "baseline (default 0.2)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="trace cache directory (default: "
+                             "$REPRO_TRACE_CACHE or .trace_cache)")
+    args = parser.parse_args(argv)
+
+    if args.cache_dir is not None:
+        os.environ["REPRO_TRACE_CACHE"] = args.cache_dir
+
+    targets = [t for t in args.targets.split(",") if t]
+    benchmarks = args.benchmarks.split(",") if args.benchmarks else None
+    report = run_bench(targets=targets, scale=args.scale,
+                       benchmarks=benchmarks, repeats=args.repeats,
+                       progress=lambda msg: print(msg, flush=True))
+
+    status = 0
+    broken = [t for t, e in report["targets"].items()
+              if not e["identical"]]
+    if broken:
+        print(f"FAIL: scalar/vector results differ for: "
+              f"{', '.join(broken)}", file=sys.stderr)
+        status = 1
+
+    if args.out:
+        save_report(report, args.out)
+        print(f"wrote {args.out}")
+
+    if args.check:
+        failures = check_regression(report, load_report(args.check),
+                                    tolerance=args.tolerance)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            status = 1
+        else:
+            print(f"speedups within {args.tolerance:.0%} of "
+                  f"{args.check}")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

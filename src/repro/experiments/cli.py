@@ -89,6 +89,10 @@ def main(argv=None) -> int:
 
     benchmarks = args.benchmarks.split(",") if args.benchmarks else None
     cache.reset_stats()
+    # Each CLI invocation should hit the on-disk cache afresh so the
+    # run summary reflects this run, not a previous in-process one.
+    from ..analysis.replay import clear_replay_memo
+    clear_replay_memo()
     status = 0
 
     known_ids = [e for e in ids if e in available]

@@ -9,7 +9,7 @@ paper's companion point to Figure 9.
 from __future__ import annotations
 
 from ..analysis.parallel import trace_jobs
-from ..analysis.runner import get_trace
+from ..analysis.replay import get_replay
 from ..arch.pipeline import ipc_by_width
 from ..workloads.base import SPEC_BENCHMARKS
 from .base import ExperimentResult, experiment
@@ -29,7 +29,7 @@ def run(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     for name in benchmarks:
         cycles = {}
         for mode in ("interp", "jit"):
-            trace = get_trace(name, scale, mode)
+            trace = get_replay(name, scale, mode)
             results = ipc_by_width(trace, widths=WIDTHS)
             cycles[mode] = [results[w].cycles for w in WIDTHS]
             base = cycles[mode][0]

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from ..analysis.report import format_bars
 from ..analysis.parallel import trace_jobs
-from ..analysis.runner import get_trace
+from ..analysis.replay import get_replay
 from ..arch.caches import simulate_split_l1
 from ..workloads.base import SPEC_BENCHMARKS
 from .base import ExperimentResult, experiment
@@ -28,7 +28,7 @@ def run(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     for name in benchmarks:
         row = [name]
         for mode in ("interp", "jit"):
-            trace = get_trace(name, scale, mode)
+            trace = get_replay(name, scale, mode)
             res = simulate_split_l1(trace, dcache={"assoc": 1})
             frac = res.dcache.write_miss_fraction
             row.append(round(100 * frac, 1))

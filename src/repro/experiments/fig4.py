@@ -11,7 +11,7 @@ object-oriented nature.
 from __future__ import annotations
 
 from ..analysis.parallel import trace_jobs
-from ..analysis.runner import get_trace
+from ..analysis.replay import get_replay
 from ..arch.caches import simulate_split_l1
 from ..workloads.base import SPEC_BENCHMARKS
 from ..workloads.native_reference import PROFILES, generate_reference_trace
@@ -30,7 +30,7 @@ def run(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     for mode in ("interp", "jit"):
         i_rates, d_rates = [], []
         for name in benchmarks:
-            trace = get_trace(name, scale, mode)
+            trace = get_replay(name, scale, mode)
             res = simulate_split_l1(trace)
             i_rates.append(res.icache.miss_rate)
             d_rates.append(res.dcache.miss_rate)

@@ -10,7 +10,7 @@ writes (code generation/installation).
 from __future__ import annotations
 
 from ..analysis.parallel import trace_jobs
-from ..analysis.runner import get_trace
+from ..analysis.replay import get_replay
 from ..arch.caches import simulate_split_l1
 from ..workloads.base import SPEC_BENCHMARKS
 from .base import ExperimentResult, experiment
@@ -27,7 +27,7 @@ def run(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     d_shares = []
     w_shares = []
     for name in benchmarks:
-        trace = get_trace(name, scale, "jit")
+        trace = get_replay(name, scale, "jit")
         res = simulate_split_l1(trace, attribute_translate=True)
         ic, dc = res.icache, res.dcache
         i_share = ic.misses[1] / max(1, ic.total_misses)

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.parallel import trace_jobs
-from ..analysis.runner import get_trace
+from ..analysis.replay import get_replay
 from ..arch.caches import simulate_split_l1
 from .base import ExperimentResult, experiment
 
@@ -30,7 +30,7 @@ def run(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     observed = []
     sparklines = []
     for mode in ("interp", "jit"):
-        trace = get_trace(benchmark, scale, mode)
+        trace = get_replay(benchmark, scale, mode)
         res = simulate_split_l1(trace, window=WINDOW)
         series = res.dcache.window_misses + _pad(res.icache.window_misses,
                                                  len(res.dcache.window_misses))

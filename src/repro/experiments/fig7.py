@@ -7,7 +7,7 @@ the largest step from direct-mapped to 2-way.
 from __future__ import annotations
 
 from ..analysis.parallel import trace_jobs
-from ..analysis.runner import get_trace
+from ..analysis.replay import get_replay
 from ..arch.caches import simulate_split_l1
 from ..workloads.base import SPEC_BENCHMARKS
 from .base import ExperimentResult, experiment
@@ -27,7 +27,7 @@ def run(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     step_2_4 = []
     for name in benchmarks:
         for mode in ("interp", "jit"):
-            trace = get_trace(name, scale, mode)
+            trace = get_replay(name, scale, mode)
             i_rates, d_rates = [], []
             for assoc in ASSOCS:
                 res = simulate_split_l1(

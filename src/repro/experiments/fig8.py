@@ -9,7 +9,7 @@ JIT mode (object accesses of 16-42 bytes) favours 32-64 bytes.
 from __future__ import annotations
 
 from ..analysis.parallel import trace_jobs
-from ..analysis.runner import get_trace
+from ..analysis.replay import get_replay
 from ..arch.caches import simulate_split_l1
 from ..workloads.base import SPEC_BENCHMARKS
 from .base import ExperimentResult, experiment
@@ -29,7 +29,7 @@ def run(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     jit_mid_best = 0
     for name in benchmarks:
         for mode in ("interp", "jit"):
-            trace = get_trace(name, scale, mode)
+            trace = get_replay(name, scale, mode)
             i_rates, d_rates = [], []
             for block in LINE_SIZES:
                 res = simulate_split_l1(

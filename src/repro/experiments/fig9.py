@@ -9,7 +9,7 @@ because the dispatch switch's unpredictable target gates fetch.
 from __future__ import annotations
 
 from ..analysis.parallel import trace_jobs
-from ..analysis.runner import get_trace
+from ..analysis.replay import get_replay
 from ..arch.pipeline import ipc_by_width
 from ..workloads.base import SPEC_BENCHMARKS
 from .base import ExperimentResult, experiment
@@ -31,7 +31,7 @@ def run(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     for name in benchmarks:
         per_mode = {}
         for mode in ("interp", "jit"):
-            trace = get_trace(name, scale, mode)
+            trace = get_replay(name, scale, mode)
             results = ipc_by_width(trace, widths=WIDTHS)
             ipcs = [results[w].ipc for w in WIDTHS]
             per_mode[mode] = ipcs

@@ -9,8 +9,8 @@ the dispatch switch's indirect jumps.
 from __future__ import annotations
 
 from ..analysis.parallel import trace_jobs
-from ..analysis.runner import get_trace
-from ..arch.branch import PREDICTORS, extract_transfers, run_predictor
+from ..analysis.replay import get_replay
+from ..arch.branch import compare_predictors
 from ..workloads.base import SPEC_BENCHMARKS
 from .base import ExperimentResult, experiment
 
@@ -28,11 +28,11 @@ def run(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     gshare_rates = {"interp": [], "jit": []}
     for name in benchmarks:
         for mode in ("interp", "jit"):
-            trace = get_trace(name, scale, mode)
-            events = extract_transfers(trace)
+            trace = get_replay(name, scale, mode)
+            results = compare_predictors(trace, names=PREDICTOR_ORDER)
             row = [name, mode]
             for pname in PREDICTOR_ORDER:
-                res = run_predictor(PREDICTORS[pname](), *events)
+                res = results[pname]
                 row.append(round(100 * res.misprediction_rate, 1))
                 if pname == "gshare":
                     gshare_rates[mode].append(res.misprediction_rate)

@@ -9,7 +9,7 @@ yet the JIT's *absolute* miss counts are higher in both caches.
 from __future__ import annotations
 
 from ..analysis.parallel import trace_jobs
-from ..analysis.runner import get_trace
+from ..analysis.replay import get_replay
 from ..arch.caches import simulate_split_l1
 from ..workloads.base import SPEC_BENCHMARKS
 from .base import ExperimentResult, experiment
@@ -28,7 +28,7 @@ def run(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     for name in benchmarks:
         per_mode = {}
         for mode in ("interp", "jit"):
-            trace = get_trace(name, scale, mode)
+            trace = get_replay(name, scale, mode)
             res = simulate_split_l1(trace)
             per_mode[mode] = res
             rows.append([

@@ -39,6 +39,11 @@ _DTYPES = {
     "src1": np.int16,
     "src2": np.int16,
 }
+#: Structured row dtype of the ``.npy`` archive format.  A plain
+#: ``np.save`` of this record array can be reopened with
+#: ``mmap_mode="r"``, so loading a cached trace costs a page-table
+#: mapping instead of a full decompress-and-copy.
+_RECORD_DTYPE = np.dtype([(c, _DTYPES[c]) for c in _COLUMNS])
 
 
 class Trace:
@@ -89,14 +94,41 @@ class Trace:
         )
 
     # -- persistence ---------------------------------------------------
+    def to_records(self) -> np.ndarray:
+        """The trace as one structured record array (``.npy`` format)."""
+        records = np.empty(self.n, dtype=_RECORD_DTYPE)
+        for c in _COLUMNS:
+            records[c] = getattr(self, c)
+        return records
+
+    @classmethod
+    def from_records(cls, records: np.ndarray) -> "Trace":
+        if records.dtype != _RECORD_DTYPE or records.ndim != 1:
+            raise ValueError(
+                f"not a trace record array: dtype={records.dtype}, "
+                f"ndim={records.ndim}"
+            )
+        # Field views of a memory map stay lazy: pages fault in as the
+        # simulators touch each column.
+        return cls(**{c: records[c] for c in _COLUMNS})
+
     def save(self, path: str) -> None:
-        """Persist to an ``.npz`` archive."""
-        np.savez_compressed(path, **{c: getattr(self, c) for c in _COLUMNS})
+        """Persist by extension: ``.npy`` (mappable record array,
+        the cache format) or anything else as a compressed ``.npz``."""
+        if str(path).endswith(".npy"):
+            np.save(path, self.to_records(), allow_pickle=False)
+        else:
+            np.savez_compressed(
+                path, **{c: getattr(self, c) for c in _COLUMNS}
+            )
 
     @classmethod
     def load(cls, path: str) -> "Trace":
         if not os.path.exists(path):
             raise FileNotFoundError(path)
+        if str(path).endswith(".npy"):
+            records = np.load(path, mmap_mode="r", allow_pickle=False)
+            return cls.from_records(records)
         with np.load(path) as data:
             return cls(**{c: data[c] for c in _COLUMNS})
 

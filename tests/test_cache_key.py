@@ -211,7 +211,7 @@ class TestCallTimeCacheDir:
         assert cache.default_cache_dir() == str(target)
         get_trace("hello", "s0", "interp")
         assert (target / "traces").is_dir()
-        assert any(f.endswith(".npz")
+        assert any(f.endswith(".npy")
                    for f in os.listdir(target / "traces"))
 
     def test_empty_env_disables_cache(self, monkeypatch, tmp_path):

@@ -1,0 +1,357 @@
+"""Scalar-vs-vector kernel equivalence (property-based).
+
+The vectorized replay kernels must be *bit-identical* to the scalar
+reference loops they replace — every statistics field, every piece of
+persistent simulator state, on adversarial streams hypothesis invents:
+mixed read/write streams, statistic groups, miss windows, victim
+buffers, write-no-allocate caches, multi-segment state continuation,
+and mixed-kernel interleaving where scalar and vector calls share one
+simulator instance.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch.branch.predictors import (
+    PREDICTORS,
+    BranchSimResult,
+    DirectionPredictor,
+    run_predictor,
+)
+from repro.arch.caches import CacheConfig, CacheSim
+from repro.arch.kernels import ENV_VAR, active_kernel
+from repro.arch.pipeline import PipelineConfig, simulate_pipeline
+from repro.native.nisa import FLAG_TAKEN, FLAG_WRITE, NCat
+from repro.native.trace import Trace
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# -- strategies --------------------------------------------------------
+
+geometries = st.tuples(
+    st.sampled_from([256, 512, 1024, 4096]),   # size
+    st.sampled_from([16, 32]),                  # block
+    st.sampled_from([1, 2, 4]),                 # assoc
+    st.booleans(),                              # write_allocate
+    st.sampled_from([0, 2, 4]),                 # victim_entries
+)
+
+# Few distinct blocks relative to the cache → constant conflict churn.
+addr_streams = st.lists(
+    st.tuples(st.integers(0, 1 << 13), st.booleans()),
+    min_size=0, max_size=300,
+)
+
+
+def _build_sim(geometry) -> CacheSim:
+    size, block, assoc, wa, victim = geometry
+    return CacheSim(CacheConfig(size, block, assoc, write_allocate=wa,
+                                victim_entries=victim))
+
+
+def _split(stream, cuts):
+    """Partition ``stream`` at the (sorted, deduplicated) cut points."""
+    points = sorted({min(c, len(stream)) for c in cuts})
+    segments, start = [], 0
+    for p in points + [len(stream)]:
+        segments.append(stream[start:p])
+        start = p
+    return segments
+
+
+def _run(sim, stream, kernel, n_groups=1, window=0):
+    if not stream:
+        addrs = np.zeros(0, dtype=np.int64)
+        writes = np.zeros(0, dtype=bool)
+    else:
+        addrs = np.asarray([a for a, _ in stream], dtype=np.int64)
+        writes = np.asarray([w for _, w in stream], dtype=bool)
+    groups = (addrs % n_groups).astype(np.int64) if n_groups > 1 else None
+    return sim.run(addrs, writes=writes, groups=groups, n_groups=n_groups,
+                   window=window, kernel=kernel)
+
+
+def _assert_stats_equal(a, b, context=""):
+    for field in ("refs", "misses", "victim_hits", "write_refs",
+                  "write_misses", "compulsory", "window_misses",
+                  "window_refs"):
+        assert np.array_equal(getattr(a, field), getattr(b, field)), (
+            f"{context}: CacheStats.{field} diverges: "
+            f"{getattr(a, field)} != {getattr(b, field)}"
+        )
+
+
+def _assert_state_equal(a: CacheSim, b: CacheSim, context=""):
+    assert a._clock == b._clock, context
+    assert a._seen_blocks == b._seen_blocks, context
+    assert a._victim == b._victim, context
+    assert a._sets == b._sets, context
+
+
+# -- cache kernels -----------------------------------------------------
+
+class TestCacheParity:
+    @RELAXED
+    @given(geometry=geometries, stream=addr_streams,
+           n_groups=st.sampled_from([1, 2, 3]),
+           window=st.sampled_from([0, 7, 64]))
+    def test_single_run(self, geometry, stream, n_groups, window):
+        scalar_sim = _build_sim(geometry)
+        vector_sim = _build_sim(geometry)
+        s = _run(scalar_sim, stream, "scalar", n_groups, window)
+        v = _run(vector_sim, stream, "vector", n_groups, window)
+        _assert_stats_equal(s, v, f"{geometry}")
+        _assert_state_equal(scalar_sim, vector_sim, f"{geometry}")
+
+    @RELAXED
+    @given(geometry=geometries, stream=addr_streams,
+           cuts=st.lists(st.integers(0, 300), max_size=3))
+    def test_segmented_state_continuation(self, geometry, stream, cuts):
+        """Per-segment runs must leave identical persistent state, so a
+        later segment classifies identically under either kernel."""
+        scalar_sim = _build_sim(geometry)
+        vector_sim = _build_sim(geometry)
+        for segment in _split(stream, cuts):
+            s = _run(scalar_sim, segment, "scalar")
+            v = _run(vector_sim, segment, "vector")
+            _assert_stats_equal(s, v, f"{geometry} segment")
+            _assert_state_equal(scalar_sim, vector_sim, f"{geometry}")
+
+    @RELAXED
+    @given(geometry=geometries, stream=addr_streams,
+           cuts=st.lists(st.integers(0, 300), max_size=3),
+           picks=st.lists(st.booleans(), min_size=4, max_size=4))
+    def test_mixed_kernel_interleave(self, geometry, stream, cuts, picks):
+        """Alternating kernels over one simulator equals all-scalar."""
+        reference = _build_sim(geometry)
+        mixed = _build_sim(geometry)
+        for i, segment in enumerate(_split(stream, cuts)):
+            s = _run(reference, segment, "scalar")
+            m = _run(mixed, segment,
+                     "vector" if picks[i % len(picks)] else "scalar")
+            _assert_stats_equal(s, m, f"{geometry} segment {i}")
+        _assert_state_equal(reference, mixed, f"{geometry}")
+
+
+# -- branch kernels ----------------------------------------------------
+
+_TRANSFER_CATS = tuple(int(c) for c in (
+    NCat.BRANCH, NCat.JUMP, NCat.IJUMP, NCat.CALL, NCat.ICALL, NCat.RET,
+))
+
+transfer_streams = st.lists(
+    st.tuples(
+        st.integers(0, 63),                    # pc pool (aligned below)
+        st.sampled_from(_TRANSFER_CATS),
+        st.booleans(),                         # taken
+        st.integers(0, 63),                    # target pool
+    ),
+    min_size=0, max_size=250,
+)
+
+
+class StutterPredictor(DirectionPredictor):
+    """Custom predictor with no predict_batch override: exercises the
+    generic per-event fallback of the vector kernel."""
+
+    name = "stutter"
+
+    def __init__(self) -> None:
+        self._last = True
+
+    def predict(self, pc: int) -> bool:
+        return self._last
+
+    def update(self, pc: int, taken: bool) -> None:
+        self._last = bool(taken)
+
+
+_BRANCH_FACTORIES = dict(PREDICTORS, stutter=StutterPredictor)
+
+
+def _assert_branch_equal(a: BranchSimResult, b: BranchSimResult, context=""):
+    for field in ("transfers", "conditional", "cond_mispredicts",
+                  "target_mispredicts", "indirect", "indirect_mispredicts"):
+        assert getattr(a, field) == getattr(b, field), (
+            f"{context}: BranchSimResult.{field} diverges: "
+            f"{getattr(a, field)} != {getattr(b, field)}"
+        )
+
+
+class TestBranchParity:
+    @RELAXED
+    @given(stream=transfer_streams,
+           name=st.sampled_from(sorted(_BRANCH_FACTORIES)),
+           btb_entries=st.sampled_from([4, 16, 1024]),
+           use_ras=st.booleans())
+    def test_run_predictor(self, stream, name, btb_entries, use_ras):
+        pcs = np.asarray([4 * pc for pc, _, _, _ in stream], dtype=np.int64)
+        cats = np.asarray([c for _, c, _, _ in stream], dtype=np.int16)
+        takens = np.asarray([t for _, _, t, _ in stream], dtype=bool)
+        targets = np.asarray([4 * t for _, _, _, t in stream],
+                             dtype=np.int64)
+        factory = _BRANCH_FACTORIES[name]
+        s = run_predictor(factory(), pcs, cats, takens, targets,
+                          btb_entries=btb_entries, use_ras=use_ras,
+                          kernel="scalar")
+        v = run_predictor(factory(), pcs, cats, takens, targets,
+                          btb_entries=btb_entries, use_ras=use_ras,
+                          kernel="vector")
+        _assert_branch_equal(s, v, f"{name} btb={btb_entries} ras={use_ras}")
+
+
+# -- pipeline kernel ---------------------------------------------------
+
+_PIPE_CATS = tuple(int(c) for c in (
+    NCat.IALU, NCat.IMUL, NCat.FALU, NCat.LOAD, NCat.STORE,
+    NCat.BRANCH, NCat.JUMP, NCat.IJUMP, NCat.CALL, NCat.ICALL, NCat.RET,
+))
+
+pipe_events = st.lists(
+    st.tuples(
+        st.sampled_from(_PIPE_CATS),
+        st.integers(0, 255),      # ea pool (scaled below)
+        st.booleans(),            # taken
+        st.integers(0, 63),       # target pool
+        st.integers(-1, 15),      # dst
+        st.integers(-1, 15),      # src1
+        st.integers(-1, 15),      # src2
+    ),
+    min_size=0, max_size=250,
+)
+
+pipe_configs = st.builds(
+    PipelineConfig,
+    width=st.sampled_from([1, 2, 4]),
+    rob_size=st.sampled_from([8, 32]),
+    mispredict_penalty=st.sampled_from([2, 4]),
+    icache_size=st.sampled_from([1024, 4096]),
+    dcache_size=st.sampled_from([1024, 4096]),
+    block=st.sampled_from([16, 32]),
+    icache_assoc=st.sampled_from([1, 2]),
+    dcache_assoc=st.sampled_from([1, 4]),
+)
+
+
+def _build_trace(events) -> Trace:
+    n = len(events)
+    LOAD, STORE = int(NCat.LOAD), int(NCat.STORE)
+    pc = np.arange(n, dtype=np.int64) * 4
+    cat = np.asarray([e[0] for e in events], dtype=np.int16)
+    mem = (cat == LOAD) | (cat == STORE)
+    ea = np.where(mem, np.asarray([e[1] * 8 for e in events],
+                                  dtype=np.int64), 0)
+    flags = np.where(cat == STORE, FLAG_WRITE, 0)
+    flags = flags | np.where(
+        np.asarray([e[2] for e in events], dtype=bool), FLAG_TAKEN, 0)
+    target = np.asarray([e[3] * 4 for e in events], dtype=np.int64)
+    dst = np.asarray([e[4] for e in events], dtype=np.int16)
+    src1 = np.asarray([e[5] for e in events], dtype=np.int16)
+    src2 = np.asarray([e[6] for e in events], dtype=np.int16)
+    return Trace.from_columns(pc=pc, cat=cat, ea=ea, flags=flags.astype(np.int16),
+                              target=target, dst=dst, src1=src1, src2=src2)
+
+
+class TestPipelineParity:
+    @RELAXED
+    @given(events=pipe_events, config=pipe_configs)
+    def test_simulate_pipeline(self, events, config):
+        trace = _build_trace(events)
+        s = simulate_pipeline(trace, config, kernel="scalar")
+        v = simulate_pipeline(trace, config, kernel="vector")
+        for field in ("instructions", "cycles", "mispredicts",
+                      "imisses", "dmisses"):
+            assert getattr(s, field) == getattr(v, field), (
+                f"PipelineResult.{field} diverges: "
+                f"{getattr(s, field)} != {getattr(v, field)}"
+            )
+
+
+# -- kernel selection --------------------------------------------------
+
+class TestKernelSelection:
+    def test_env_and_override(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert active_kernel(None) == "vector"
+        monkeypatch.setenv(ENV_VAR, "scalar")
+        assert active_kernel(None) == "scalar"
+        assert active_kernel("vector") == "vector"
+        with pytest.raises(ValueError):
+            active_kernel("simd")
+        monkeypatch.setenv(ENV_VAR, "turbo")
+        with pytest.raises(ValueError):
+            active_kernel(None)
+
+
+# -- whole experiments -------------------------------------------------
+
+class TestExperimentParity:
+    @pytest.mark.parametrize("exp_id", ["fig3", "table2"])
+    def test_experiment_identical_under_both_kernels(
+            self, exp_id, tmp_path, monkeypatch):
+        from repro.analysis.replay import clear_replay_memo
+        from repro.experiments.base import get_experiment
+
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        fn = get_experiment(exp_id)
+        results = {}
+        for kernel in ("scalar", "vector"):
+            monkeypatch.setenv(ENV_VAR, kernel)
+            clear_replay_memo()
+            results[kernel] = fn(scale="s0", benchmarks=["hello"]).to_dict()
+        assert results["scalar"] == results["vector"]
+
+
+# -- mmap trace archives -----------------------------------------------
+
+class TestTraceNpyFormat:
+    def _trace(self) -> Trace:
+        rng = np.random.default_rng(7)
+        n = 64
+        return Trace.from_columns(
+            pc=rng.integers(0, 1 << 20, n) * 4,
+            cat=rng.integers(0, 15, n),
+            ea=rng.integers(0, 1 << 16, n),
+            flags=rng.integers(0, 8, n),
+            target=rng.integers(0, 1 << 20, n) * 4,
+            dst=rng.integers(-1, 16, n),
+            src1=rng.integers(-1, 16, n),
+            src2=rng.integers(-1, 16, n),
+        )
+
+    def test_npy_roundtrip_is_mapped(self, tmp_path):
+        trace = self._trace()
+        path = str(tmp_path / "t.npy")
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert isinstance(
+            loaded.pc if loaded.pc.base is None else loaded.pc.base,
+            np.memmap)
+        for column in ("pc", "cat", "ea", "flags", "target",
+                       "dst", "src1", "src2"):
+            assert np.array_equal(getattr(trace, column),
+                                  getattr(loaded, column)), column
+
+    def test_npz_roundtrip_still_works(self, tmp_path):
+        trace = self._trace()
+        path = str(tmp_path / "t.npz")
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert np.array_equal(trace.pc, loaded.pc)
+
+    def test_npy_rejects_foreign_arrays(self, tmp_path):
+        path = str(tmp_path / "bogus.npy")
+        np.save(path, np.zeros(10, dtype=np.int64))
+        with pytest.raises(ValueError):
+            Trace.load(path)
