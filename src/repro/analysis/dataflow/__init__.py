@@ -1,0 +1,39 @@
+"""Abstract-interpretation dataflow framework over the bytecode ISA.
+
+A small classical-dataflow toolkit: CFG construction (`cfg`), a generic
+forward/backward worklist solver over join semilattices (`solver`), and
+four concrete analyses built on it:
+
+* `typestate` — per-slot/per-local type inference; upgrades the
+  structural verifier into a typed verifier emitting JVM-style stack
+  maps and rejecting type-confused programs.
+* `liveness` — backward local liveness plus def-use chains; consumed by
+  the JIT to kill dead stores and shrink spill traffic.
+* `constprop` — forward constant/copy propagation with the interpreter's
+  exact int32 semantics; powers the constant-branch lint findings.
+* `escape` — interprocedural escape analysis over NEW/field/invoke
+  flows; proves allocation sites thread-local so the VM can elide
+  MONITORENTER/MONITOREXIT on non-escaping receivers.
+
+Everything here is pure Python over ``repro.isa`` structures — no numpy,
+no VM state — so the analyses run at verify time or from the
+``repro.lint`` CLI without touching simulator machinery.
+"""
+
+from __future__ import annotations
+
+from .cfg import CFG, BasicBlock, build_cfg
+from .findings import Finding, Severity
+from .solver import DataflowProblem, Solution, check_fixpoint, solve
+
+__all__ = [
+    "CFG",
+    "BasicBlock",
+    "build_cfg",
+    "DataflowProblem",
+    "Solution",
+    "solve",
+    "check_fixpoint",
+    "Finding",
+    "Severity",
+]

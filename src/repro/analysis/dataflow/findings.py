@@ -1,0 +1,71 @@
+"""Stable, machine-readable analysis findings.
+
+Every diagnostic the analyses (and ``repro.lint``) can produce carries a
+stable code so golden files and CI can pin exact sets of findings.
+
+Code families:
+
+* ``RS0xx`` — structural verification (stack shape, ranges, pool).
+* ``RM0xx`` — monitor balance.
+* ``RT0xx`` — type errors from the typed verifier.
+* ``RL0xx`` — lint-grade dataflow facts (dead code, dead stores,
+  constant branches, uninitialized reads, elidable locks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Ordered severities; ``error`` findings make ``repro.lint --strict`` fail.
+Severity = str
+SEVERITIES: tuple[Severity, ...] = ("error", "warning", "info")
+
+#: code -> (severity, short description)
+CODES: dict[str, tuple[Severity, str]] = {
+    # structural (raised as VerifyError by isa.verifier)
+    "RS001": ("error", "operand stack underflow"),
+    "RS002": ("error", "operand stack overflow"),
+    "RS003": ("error", "inconsistent stack depth at merge"),
+    "RS004": ("error", "control falls off the end of the code"),
+    "RS005": ("error", "branch target out of range"),
+    "RS006": ("error", "local variable index out of range"),
+    "RS007": ("error", "bad constant-pool operand"),
+    "RS008": ("error", "empty code array"),
+    # monitor balance (isa.verifier)
+    "RM001": ("error", "method returns while holding a monitor"),
+    "RM002": ("error", "monitorexit without a matching monitorenter"),
+    "RM003": ("error", "inconsistent monitor depth at merge"),
+    # typed verifier (dataflow.typestate)
+    "RT001": ("error", "stack operand has conflicting types at merge"),
+    "RT002": ("error", "operand type mismatch"),
+    "RT003": ("error", "load of type-conflicted local"),
+    "RT004": ("error", "return kind disagrees with method signature"),
+    # dataflow lint facts
+    "RL001": ("warning", "unreachable code"),
+    "RL002": ("warning", "dead store to local"),
+    "RL003": ("warning", "branch condition is compile-time constant"),
+    "RL004": ("warning", "read of a local no path initializes"),
+    "RL005": ("info", "monitor on provably thread-local object (elidable)"),
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic, anchored to a method and instruction index."""
+
+    code: str
+    method: str          # qualified method name
+    index: int           # instruction index, -1 for whole-method findings
+    message: str
+
+    @property
+    def severity(self) -> Severity:
+        return CODES[self.code][0]
+
+    @property
+    def key(self) -> str:
+        """Stable identity used by golden-findings files."""
+        return f"{self.code} {self.method}@{self.index}"
+
+    def render(self) -> str:
+        return f"[{self.code}:{self.severity}] {self.method}@{self.index}: {self.message}"

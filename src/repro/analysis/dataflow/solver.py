@@ -1,0 +1,175 @@
+"""Generic forward/backward worklist solver over join semilattices.
+
+A :class:`DataflowProblem` supplies the lattice (``bottom``/``join``),
+the boundary state, and a per-instruction transfer function; the solver
+iterates blocks to a fixpoint and exposes per-instruction in/out states.
+
+Conventions:
+
+* Forward problems: ``in_states[i]`` is the fact *before* instruction
+  ``i`` in program order, ``out_states[i]`` the fact after it.
+* Backward problems: ``out_states[i]`` is the fact after instruction
+  ``i`` (the state the transfer function consumes), ``in_states[i]``
+  the fact before it (what the transfer function produces).  Exit
+  blocks (those ending in a return) seed their after-state from
+  ``boundary``.
+
+Unreachable instructions keep ``None`` in both state lists.
+"""
+
+from __future__ import annotations
+
+from ...isa.method import Method
+from ...isa.opcodes import OPINFO
+from .cfg import CFG, build_cfg
+
+
+class DataflowProblem:
+    """Subclass and override; states must be immutable values."""
+
+    direction = "forward"          # or "backward"
+
+    def boundary(self, method: Method):
+        raise NotImplementedError
+
+    def bottom(self, method: Method):
+        raise NotImplementedError
+
+    def join(self, a, b):
+        raise NotImplementedError
+
+    def transfer(self, method: Method, idx: int, instr, state):
+        raise NotImplementedError
+
+    def equals(self, a, b) -> bool:
+        return a == b
+
+
+class Solution:
+    """Per-instruction dataflow facts (see module docstring)."""
+
+    __slots__ = ("cfg", "in_states", "out_states")
+
+    def __init__(self, cfg: CFG, in_states: list, out_states: list) -> None:
+        self.cfg = cfg
+        self.in_states = in_states
+        self.out_states = out_states
+
+
+def _exit_blocks(cfg: CFG) -> list[int]:
+    return [b.index for b in cfg.blocks
+            if OPINFO[cfg.method.code[b.end - 1].op].kind == "return"]
+
+
+def solve(method: Method, problem: DataflowProblem,
+          cfg: CFG | None = None) -> Solution:
+    """Run ``problem`` to a fixpoint over ``method`` and return facts."""
+    cfg = cfg or build_cfg(method)
+    code = method.code
+    n = len(code)
+    in_states: list = [None] * n
+    out_states: list = [None] * n
+    reachable = cfg.reachable_rpo()
+    rpo_pos = {b: i for i, b in enumerate(reachable)}
+
+    if problem.direction == "forward":
+        block_in = {b: problem.bottom(method) for b in reachable}
+        block_in[0] = problem.boundary(method)
+        worklist = list(reachable)
+        pending = set(worklist)
+        while worklist:
+            worklist.sort(key=rpo_pos.__getitem__)
+            b = worklist.pop(0)
+            pending.discard(b)
+            block = cfg.blocks[b]
+            state = block_in[b]
+            for i in range(block.start, block.end):
+                in_states[i] = state
+                state = problem.transfer(method, i, code[i], state)
+                out_states[i] = state
+            for succ, _kind in block.succs:
+                if succ not in block_in:
+                    continue
+                merged = problem.join(block_in[succ], state)
+                if not problem.equals(merged, block_in[succ]):
+                    block_in[succ] = merged
+                    if succ not in pending:
+                        pending.add(succ)
+                        worklist.append(succ)
+        return Solution(cfg, in_states, out_states)
+
+    # backward
+    exits = set(_exit_blocks(cfg))
+    block_out = {}
+    for b in reachable:
+        block_out[b] = (problem.boundary(method) if b in exits
+                        else problem.bottom(method))
+    worklist = list(reachable)
+    pending = set(worklist)
+    while worklist:
+        worklist.sort(key=rpo_pos.__getitem__, reverse=True)
+        b = worklist.pop(0)
+        pending.discard(b)
+        block = cfg.blocks[b]
+        state = block_out[b]
+        for i in range(block.end - 1, block.start - 1, -1):
+            out_states[i] = state
+            state = problem.transfer(method, i, code[i], state)
+            in_states[i] = state
+        for pred in cfg.blocks[b].preds:
+            if pred not in block_out:
+                continue
+            # A predecessor's after-state absorbs this block's before-state;
+            # exit blocks keep their boundary contribution in the join.
+            base = block_out[pred]
+            merged = problem.join(base, state)
+            if not problem.equals(merged, base):
+                block_out[pred] = merged
+                if pred not in pending:
+                    pending.add(pred)
+                    worklist.append(pred)
+    return Solution(cfg, in_states, out_states)
+
+
+def check_fixpoint(method: Method, problem: DataflowProblem,
+                   solution: Solution) -> bool:
+    """True iff ``solution`` is a genuine fixpoint of ``problem``.
+
+    Re-applies the transfer function to every reachable instruction and
+    re-checks edge consistency (each edge's source fact is absorbed by
+    its target fact).  Used by the property tests to show solver runs
+    are idempotent.
+    """
+    cfg = solution.cfg
+    code = method.code
+    reachable = set(cfg.reachable_rpo())
+    for b in reachable:
+        block = cfg.blocks[b]
+        if problem.direction == "forward":
+            for i in range(block.start, block.end):
+                redone = problem.transfer(method, i, code[i],
+                                          solution.in_states[i])
+                if not problem.equals(redone, solution.out_states[i]):
+                    return False
+            for succ, _kind in block.succs:
+                if succ not in reachable:
+                    continue
+                tgt = solution.in_states[cfg.blocks[succ].start]
+                merged = problem.join(tgt, solution.out_states[block.end - 1])
+                if not problem.equals(merged, tgt):
+                    return False
+        else:
+            for i in range(block.end - 1, block.start - 1, -1):
+                redone = problem.transfer(method, i, code[i],
+                                          solution.out_states[i])
+                if not problem.equals(redone, solution.in_states[i]):
+                    return False
+            for succ, _kind in block.succs:
+                if succ not in reachable:
+                    continue
+                src = solution.out_states[block.end - 1]
+                merged = problem.join(
+                    src, solution.in_states[cfg.blocks[succ].start])
+                if not problem.equals(merged, src):
+                    return False
+    return True

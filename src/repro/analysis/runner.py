@@ -70,6 +70,8 @@ def run_vm(
     profile: bool = True,
     oracle_set: set | None = None,
     folding: bool = False,
+    jit_opt: bool = False,
+    lock_elision: bool = False,
     cache_dir: str | None = None,
 ) -> VMResult:
     """Build a fresh VM for the workload and run it to completion.
@@ -93,6 +95,8 @@ def run_vm(
             inline=inline,
             profile=profile,
             folding=folding,
+            jit_opt=jit_opt,
+            lock_elision=lock_elision,
             oracle=sorted(oracle_set) if oracle_set else None,
         )
         path = cache.run_path(resolved, workload, scale, token, key)
@@ -108,6 +112,8 @@ def run_vm(
         inline=inline,
         profile=profile,
         folding=folding,
+        jit_opt=jit_opt,
+        lock_elision=lock_elision,
     )
     result = vm.run()
     if path:

@@ -60,8 +60,58 @@ def prewarm(targets, scale: str, benchmarks, max_workers: int = 1) -> None:
         run_jobs(jobs, max_workers=max_workers)
 
 
+def bench_analysis(scale: str = "s0", benchmarks=None) -> dict:
+    """Per-workload wall-clock of each static-analysis pass.
+
+    Times the four dataflow passes (typed verification, liveness,
+    constant propagation, whole-program escape) over every bytecode
+    method of each workload with the library linked, reporting totals
+    and per-method averages.  This is the analysis cost a
+    ``lock_elision``/``jit_opt`` VM run or a ``repro.lint`` invocation
+    pays up front.
+    """
+    from ..analysis.dataflow.constprop import solve_constants
+    from ..analysis.dataflow.escape import EscapeSummaries
+    from ..analysis.dataflow.liveness import dead_stores, pop_only_pushes
+    from ..analysis.dataflow.typestate import typecheck_method
+    from ..vm.library import ensure_library
+    from ..workloads.base import SPEC_BENCHMARKS, get_workload
+
+    report = {}
+    for name in benchmarks or SPEC_BENCHMARKS:
+        program = get_workload(name).build(scale)
+        ensure_library(program)
+        methods = [m for m in program.all_methods()
+                   if not m.is_native and m.code]
+
+        def timed(thunk):
+            started = time.perf_counter()
+            thunk()
+            return time.perf_counter() - started
+
+        passes = {
+            "typecheck": timed(
+                lambda: [typecheck_method(m, program) for m in methods]),
+            "liveness": timed(
+                lambda: [(dead_stores(m), pop_only_pushes(m))
+                         for m in methods]),
+            "constprop": timed(
+                lambda: [solve_constants(m) for m in methods]),
+            "escape": timed(lambda: EscapeSummaries(program)),
+        }
+        n = len(methods)
+        entry = {"methods": n}
+        for pname, secs in passes.items():
+            entry[f"{pname}_ms"] = round(1000 * secs, 3)
+            entry[f"{pname}_us_per_method"] = round(1e6 * secs / max(1, n), 1)
+        entry["total_ms"] = round(1000 * sum(passes.values()), 3)
+        report[name] = entry
+    return report
+
+
 def run_bench(targets=DEFAULT_TARGETS, scale: str = "s0",
               benchmarks=None, repeats: int = 3,
+              analysis: bool = True,
               progress=None) -> dict:
     """Benchmark ``targets`` under every kernel.
 
@@ -104,6 +154,12 @@ def run_bench(targets=DEFAULT_TARGETS, scale: str = "s0",
         say(f"{exp_id:8s} speedup {entry['speedup']:.2f}x "
             f"identical={entry['identical']}")
         report["targets"][exp_id] = entry
+    if analysis:
+        say("timing static-analysis passes")
+        report["analysis"] = bench_analysis(scale, benchmarks)
+        for name, entry in report["analysis"].items():
+            say(f"{name:10s} {entry['methods']:3d} methods "
+                f"{entry['total_ms']:8.1f}ms total")
     return report
 
 

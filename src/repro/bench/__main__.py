@@ -32,6 +32,8 @@ def main(argv=None) -> int:
                         help="comma-separated benchmark subset")
     parser.add_argument("--repeats", type=int, default=3,
                         help="timed repetitions per kernel; best is kept")
+    parser.add_argument("--no-analysis", action="store_true",
+                        help="skip the static-analysis pass timing section")
     parser.add_argument("--out", default=None, metavar="FILE",
                         help="write the report JSON here")
     parser.add_argument("--check", default=None, metavar="BASELINE",
@@ -51,6 +53,7 @@ def main(argv=None) -> int:
     benchmarks = args.benchmarks.split(",") if args.benchmarks else None
     report = run_bench(targets=targets, scale=args.scale,
                        benchmarks=benchmarks, repeats=args.repeats,
+                       analysis=not args.no_analysis,
                        progress=lambda msg: print(msg, flush=True))
 
     status = 0

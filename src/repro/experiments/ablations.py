@@ -159,6 +159,75 @@ def run_locks(scale: str = "s1", benchmarks=None) -> ExperimentResult:
     )
 
 
+def _elision_jobs(scale: str = "s1", benchmarks=None) -> list:
+    jobs = []
+    for name in benchmarks or SPEC_BENCHMARKS:
+        jobs.append(run_job(name, scale, "jit", lock_manager="thin-lock",
+                            profile=False))
+        jobs.append(run_job(name, scale, "jit", lock_manager="thin-lock",
+                            profile=False, jit_opt=True, lock_elision=True))
+    return jobs
+
+
+@experiment("ablation_lock_elision", jobs=_elision_jobs)
+def run_lock_elision(scale: str = "s1", benchmarks=None) -> ExperimentResult:
+    """Escape-analysis lock elision + liveness DSE vs plain thin locks.
+
+    The paper's Figure 11 shows locking is dominated by the uncontended
+    cases (a) and (b), which thin locks *cheapen*; whole-program escape
+    analysis goes further and *removes* acquisitions on provably
+    thread-local receivers.  Rows report how many of each case were
+    elided, the sync-cycle saving, and the JIT dead stores removed by
+    the liveness pass (both optimizations are semantics-preserving: the
+    harness asserts identical stdout).
+    """
+    benchmarks = benchmarks or SPEC_BENCHMARKS
+    rows = []
+    elided_total = base_total = 0
+    for name in benchmarks:
+        base = run_vm(name, scale=scale, mode="jit",
+                      lock_manager="thin-lock", profile=False)
+        opt = run_vm(name, scale=scale, mode="jit",
+                     lock_manager="thin-lock", profile=False,
+                     jit_opt=True, lock_elision=True)
+        if base.stdout != opt.stdout:      # pragma: no cover - safety net
+            raise AssertionError(f"{name}: optimized run diverged")
+        if opt.sync["elision_violations"]:  # pragma: no cover - safety net
+            raise AssertionError(f"{name}: elision violated thread-locality")
+        acquires = base.sync["acquire_ops"]
+        elided = opt.sync["elided_acquires"]
+        cases = opt.sync["elided_case_counts"]
+        saving = 1 - opt.sync_cycles / max(1, base.sync_cycles)
+        elided_total += elided
+        base_total += acquires
+        rows.append([
+            name, acquires, elided,
+            round(100 * elided / max(1, acquires), 1),
+            cases["a"], cases["b"], cases["c"],
+            round(100 * saving, 1),
+            opt.dead_stores_eliminated,
+        ])
+    return ExperimentResult(
+        "ablation_lock_elision",
+        "Escape-analysis lock elision over thin locks (JIT mode)",
+        ["benchmark", "acquires (base)", "elided", "elided %",
+         "case a", "case b", "case c", "sync cycle saving %",
+         "JIT dead stores"],
+        rows,
+        paper_claim=(
+            "Uncontended cases (a)/(b) dominate lock traffic (Figure 11); "
+            "escape analysis can remove thread-local acquisitions "
+            "outright instead of merely cheapening them."
+        ),
+        observed=(
+            f"{elided_total} of {base_total} acquisitions elided across "
+            f"{len(benchmarks)} benchmarks; elision is all-or-nothing per "
+            "benchmark — field-insensitivity keeps container receivers "
+            "escaped (see docs/analysis.md)"
+        ),
+    )
+
+
 _INLINE_BENCHMARKS = ("db", "javac", "mpegaudio")
 
 

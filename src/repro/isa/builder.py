@@ -41,6 +41,7 @@ class MethodBuilder:
         returns: bool = False,
         static: bool = False,
         synchronized: bool = False,
+        max_stack: int | None = None,
     ) -> None:
         self._cb = class_builder
         self._pool = class_builder.jclass.pool
@@ -49,6 +50,7 @@ class MethodBuilder:
         self.returns = returns
         self.static = static
         self.synchronized = synchronized
+        self.max_stack = max_stack
         self._code: list[Instr] = []
         self._fixups: list[tuple[int, Label]] = []
         self._switch_fixups: list[int] = []
@@ -405,6 +407,7 @@ class MethodBuilder:
             is_synchronized=self.synchronized,
             max_locals=self._max_local + 1,
             code=self._code,
+            max_stack=self.max_stack,
         )
         return method
 
@@ -425,14 +428,17 @@ class ClassBuilder:
         return self
 
     def method(self, name: str, argc: int = 0, returns: bool = False,
-               static: bool = False, synchronized: bool = False) -> MethodBuilder:
-        mb = MethodBuilder(self, name, argc, returns, static, synchronized)
+               static: bool = False, synchronized: bool = False,
+               max_stack: int | None = None) -> MethodBuilder:
+        mb = MethodBuilder(self, name, argc, returns, static, synchronized,
+                           max_stack=max_stack)
         self._pending.append(mb)
         return mb
 
     def native_method(self, name: str, argc: int, returns: bool,
                       impl: Callable, static: bool = False,
-                      synchronized: bool = False, cost: int = 20) -> "ClassBuilder":
+                      synchronized: bool = False, cost: int = 20,
+                      escape: tuple[str, ...] | None = None) -> "ClassBuilder":
         m = Method(
             name=name,
             argc=argc,
@@ -441,6 +447,7 @@ class ClassBuilder:
             is_synchronized=synchronized,
             native_impl=impl,
             native_cost=cost,
+            native_escape=escape,
         )
         self.jclass.add_method(m)
         return self
@@ -468,10 +475,10 @@ class ProgramBuilder:
         self.program.add_class(jclass)
         return self
 
-    def build(self, verify: bool = True) -> Program:
+    def build(self, verify: bool = True, typed: bool = False) -> Program:
         for cb in self._class_builders:
             self.program.add_class(cb.build())
         self._class_builders = []
         if verify:
-            verify_program(self.program)
+            verify_program(self.program, typed=typed)
         return self.program

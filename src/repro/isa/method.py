@@ -56,6 +56,8 @@ class Method:
         code: list[Instr] | None = None,
         native_impl: Optional[Callable] = None,
         native_cost: int = 20,
+        max_stack: int | None = None,
+        native_escape: tuple[str, ...] | None = None,
     ) -> None:
         self.name = name
         self.argc = argc
@@ -65,6 +67,11 @@ class Method:
         self.code: list[Instr] = code or []
         self.native_impl = native_impl
         self.native_cost = native_cost  # native instrs charged per call
+        #: declared operand-stack limit; None => verifier computes a bound
+        self.declared_max_stack = max_stack
+        #: escape-analysis annotation for natives: per-param-slot levels
+        #: drawn from {"none", "returned", "global"}; None => all "global"
+        self.native_escape = native_escape
         n_params = argc + (0 if is_static else 1)
         self.max_locals = max_locals if max_locals is not None else n_params
 

@@ -2,9 +2,25 @@
 
 A light-weight analogue of the JVM verifier.  It checks that bytecode is
 well formed (targets in range, locals in range, pool indices valid, no
-falling off the end) and computes, for every instruction, the operand
+falling off the end), computes, for every instruction, the operand
 stack depth on entry — a fact the JIT's stack-to-register mapping and
-the interpreter's address generation both rely on.
+the interpreter's address generation both rely on — and proves monitor
+balance: no path may leave a method holding a monitor or release one it
+never acquired.
+
+Every :class:`VerifyError` carries a stable ``code`` (``RS0xx`` for
+stack/structure, ``RM0xx`` for monitor balance) so ``repro.lint`` and
+its golden files can pin exact failure modes.
+
+The operand-stack limit is derived from the method itself: a declared
+``max_stack`` when the builder provides one, else a static worst-case
+bound over the code (sum of the positive per-instruction stack deltas).
+The historical hard-coded 64-slot default is gone; callers can still
+impose an explicit limit via the ``max_stack`` argument.
+
+*Typed* verification — per-slot type inference, stack maps — lives in
+``repro.analysis.dataflow.typestate`` and is enabled through
+``verify_program(..., typed=True)`` or the ``repro.lint`` CLI.
 """
 
 from __future__ import annotations
@@ -18,6 +34,10 @@ from .pool import FieldRef, MethodRef, ClassRef, FloatConst, StringConst
 class VerifyError(Exception):
     """Raised when a method fails structural verification."""
 
+    def __init__(self, message: str, code: str = "RS000") -> None:
+        super().__init__(message)
+        self.code = code
+
 
 def _stack_delta(method: Method, instr: Instr) -> tuple[int, int]:
     """(pops, pushes) for an instruction, resolving invoke arity."""
@@ -27,7 +47,8 @@ def _stack_delta(method: Method, instr: Instr) -> tuple[int, int]:
     ref = method.pool[instr.a]
     if not isinstance(ref, MethodRef):
         raise VerifyError(
-            f"{method.qualified_name}: invoke operand {instr.a} is not a MethodRef"
+            f"{method.qualified_name}: invoke operand {instr.a} is not a MethodRef",
+            code="RS007",
         )
     pops = ref.argc + (0 if instr.op is Op.INVOKESTATIC else 1)
     return pops, (1 if ref.has_result else 0)
@@ -41,7 +62,8 @@ def _check_pool_operand(method: Method, i: int, instr: Instr) -> None:
     ):
         if not (0 <= instr.a < len(pool)):
             raise VerifyError(
-                f"{method.qualified_name}@{i}: pool index {instr.a} out of range"
+                f"{method.qualified_name}@{i}: pool index {instr.a} out of range",
+                code="RS007",
             )
         entry = pool[instr.a]
         expected = {
@@ -55,21 +77,42 @@ def _check_pool_operand(method: Method, i: int, instr: Instr) -> None:
             if not isinstance(entry, (StringConst, FloatConst)):
                 raise VerifyError(
                     f"{method.qualified_name}@{i}: ldc operand must be a "
-                    f"string/float constant, got {entry!r}"
+                    f"string/float constant, got {entry!r}",
+                    code="RS007",
                 )
             return
         if expected is not None and not isinstance(entry, expected):
             raise VerifyError(
                 f"{method.qualified_name}@{i}: {instr.info.mnemonic} expects "
-                f"{expected.__name__}, got {entry!r}"
+                f"{expected.__name__}, got {entry!r}",
+                code="RS007",
             )
 
 
-def verify_method(method: Method, max_stack: int = 64) -> list[int]:
+def static_stack_bound(method: Method) -> int:
+    """Worst-case operand-stack growth, summed over the code.
+
+    Every instruction's net push is at most +1 in this ISA, so this is a
+    sound (if loose) upper bound on any real execution depth — the limit
+    a method with no declared ``max_stack`` is verified against.
+    """
+    bound = 0
+    for instr in method.code:
+        try:
+            pops, pushes = _stack_delta(method, instr)
+        except VerifyError:
+            pushes, pops = 1, 0   # bad pool entry; the main loop reports it
+        bound += max(0, pushes - pops)
+    return max(8, bound)
+
+
+def verify_method(method: Method, max_stack: int | None = None) -> list[int]:
     """Verify ``method`` and return the per-instruction entry depth list.
 
     The result is also stored on ``method.depth_in``.  Unreachable
-    instructions get depth -1.
+    instructions get depth -1.  ``max_stack`` overrides the verified
+    stack limit; by default the method's declared ``max_stack`` is used,
+    or a computed worst-case bound when none was declared.
     """
     if method.is_native:
         method.depth_in = []
@@ -77,27 +120,44 @@ def verify_method(method: Method, max_stack: int = 64) -> list[int]:
     code = method.code
     n = len(code)
     if n == 0:
-        raise VerifyError(f"{method.qualified_name}: empty code")
+        raise VerifyError(f"{method.qualified_name}: empty code", code="RS008")
+
+    if max_stack is not None:
+        limit = max_stack
+    elif method.declared_max_stack is not None:
+        limit = method.declared_max_stack
+    else:
+        limit = static_stack_bound(method)
 
     depth_in = [-1] * n
+    mon_in = [-1] * n
     max_depth = 0
-    worklist = [(0, 0)]
+    worklist = [(0, 0, 0)]
     while worklist:
-        i, depth = worklist.pop()
+        i, depth, mons = worklist.pop()
         while True:
             if not (0 <= i < n):
                 raise VerifyError(
                     f"{method.qualified_name}: control flow reaches index {i}, "
-                    f"out of range 0..{n - 1}"
+                    f"out of range 0..{n - 1}",
+                    code="RS005",
                 )
             if depth_in[i] != -1:
                 if depth_in[i] != depth:
                     raise VerifyError(
                         f"{method.qualified_name}@{i}: inconsistent stack depth "
-                        f"({depth_in[i]} vs {depth})"
+                        f"({depth_in[i]} vs {depth})",
+                        code="RS003",
+                    )
+                if mon_in[i] != mons:
+                    raise VerifyError(
+                        f"{method.qualified_name}@{i}: inconsistent monitor "
+                        f"depth ({mon_in[i]} vs {mons})",
+                        code="RM003",
                     )
                 break
             depth_in[i] = depth
+            mon_in[i] = mons
             instr = code[i]
             info = OPINFO[instr.op]
 
@@ -105,7 +165,8 @@ def verify_method(method: Method, max_stack: int = 64) -> list[int]:
                 if not (0 <= instr.a < method.max_locals):
                     raise VerifyError(
                         f"{method.qualified_name}@{i}: local {instr.a} out of "
-                        f"range (max_locals={method.max_locals})"
+                        f"range (max_locals={method.max_locals})",
+                        code="RS006",
                     )
             _check_pool_operand(method, i, instr)
 
@@ -113,37 +174,60 @@ def verify_method(method: Method, max_stack: int = 64) -> list[int]:
             if depth < pops:
                 raise VerifyError(
                     f"{method.qualified_name}@{i}: stack underflow at "
-                    f"{instr.info.mnemonic} (depth {depth}, pops {pops})"
+                    f"{instr.info.mnemonic} (depth {depth}, pops {pops})",
+                    code="RS001",
                 )
             depth = depth - pops + pushes
             max_depth = max(max_depth, depth)
-            if depth > max_stack:
+            if depth > limit:
                 raise VerifyError(
-                    f"{method.qualified_name}@{i}: stack overflow (depth {depth})"
+                    f"{method.qualified_name}@{i}: stack overflow "
+                    f"(depth {depth} exceeds max_stack {limit})",
+                    code="RS002",
                 )
+
+            if instr.op is Op.MONITORENTER:
+                mons += 1
+            elif instr.op is Op.MONITOREXIT:
+                if mons == 0:
+                    raise VerifyError(
+                        f"{method.qualified_name}@{i}: monitorexit without a "
+                        f"matching monitorenter",
+                        code="RM002",
+                    )
+                mons -= 1
 
             kind = info.kind
             if kind == "return":
+                if mons != 0:
+                    raise VerifyError(
+                        f"{method.qualified_name}@{i}: "
+                        f"{instr.info.mnemonic} while holding {mons} "
+                        f"monitor{'s' if mons > 1 else ''}",
+                        code="RM001",
+                    )
                 break
             targets = instr.branch_targets()
             for t in targets:
                 if not (0 <= t < n):
                     raise VerifyError(
-                        f"{method.qualified_name}@{i}: branch target {t} out of range"
+                        f"{method.qualified_name}@{i}: branch target {t} out of range",
+                        code="RS005",
                     )
             if kind == "goto":
                 i = instr.a
                 continue
             if kind == "switch":
                 for t in targets:
-                    worklist.append((t, depth))
+                    worklist.append((t, depth, mons))
                 break
             if kind == "branch":
-                worklist.append((instr.a, depth))
+                worklist.append((instr.a, depth, mons))
             # fall through
             if i + 1 >= n:
                 raise VerifyError(
-                    f"{method.qualified_name}@{i}: control falls off the end"
+                    f"{method.qualified_name}@{i}: control falls off the end",
+                    code="RS004",
                 )
             i += 1
 
@@ -152,8 +236,18 @@ def verify_method(method: Method, max_stack: int = 64) -> list[int]:
     return depth_in
 
 
-def verify_program(program) -> None:
-    """Verify every non-native method in a program."""
+def verify_program(program, typed: bool = False) -> None:
+    """Verify every non-native method in a program.
+
+    With ``typed=True`` the abstract-interpretation typed verifier runs
+    after the structural pass and rejects type-confused methods (import
+    deferred: the dataflow package builds on these verified facts).
+    """
     for method in program.all_methods():
         verify_method(method)
         method.compute_layout()
+    if typed:
+        from ..analysis.dataflow.typestate import assert_types
+        for method in program.all_methods():
+            if not method.is_native and method.code:
+                assert_types(method, program)

@@ -1,0 +1,141 @@
+"""``python -m repro.lint`` — lint bundled workloads, check the corpus.
+
+Examples::
+
+    python -m repro.lint                       # report findings
+    python -m repro.lint --strict              # fail on error findings
+    python -m repro.lint --selftest            # corpus must be caught
+    python -m repro.lint --golden src/repro/lint/golden_findings.json
+    python -m repro.lint --update-golden src/repro/lint/golden_findings.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from collections import Counter
+
+from . import lint_workload
+from .corpus import check_corpus
+
+_DEFAULT_GOLDEN = os.path.join(os.path.dirname(__file__),
+                               "golden_findings.json")
+
+
+def _collect(workloads, scale: str, say) -> list:
+    findings = []
+    for name in workloads:
+        wf = lint_workload(name, scale=scale)
+        say(f"{name:10s} {len(wf)} finding(s)")
+        # library methods are linted once per workload; keep one copy
+        findings.extend(f for f in wf if f not in findings)
+    return findings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Static-analysis lint over the bundled workloads.",
+    )
+    parser.add_argument("--workloads", default=None,
+                        help="comma-separated workload subset "
+                             "(default: all bundled SpecJVM programs)")
+    parser.add_argument("--scale", default="s0",
+                        choices=("s0", "s1", "s10"),
+                        help="workload build scale (default s0)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit nonzero on any error-severity finding")
+    parser.add_argument("--selftest", action="store_true",
+                        help="also verify the adversarial corpus is caught")
+    parser.add_argument("--golden", default=None, metavar="FILE",
+                        help="compare findings against a golden file; new "
+                             "findings fail (default file used if present)")
+    parser.add_argument("--update-golden", default=None, metavar="FILE",
+                        help="write the observed findings as the new golden")
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="dump findings as JSON")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    say = (lambda msg: None) if args.quiet else (
+        lambda msg: print(msg, flush=True))
+
+    from ..workloads.base import SPEC_BENCHMARKS
+    workloads = (args.workloads.split(",") if args.workloads
+                 else list(SPEC_BENCHMARKS))
+
+    status = 0
+
+    if args.selftest:
+        rows = check_corpus()
+        bad = [r for r in rows if not r["ok"]]
+        say(f"corpus: {len(rows) - len(bad)}/{len(rows)} cases caught")
+        for r in bad:
+            print(f"CORPUS MISS: {r['name']} expected {r['expected']} "
+                  f"got {r['observed']}", file=sys.stderr)
+        if bad:
+            status = 1
+
+    findings = _collect(workloads, args.scale, say)
+    by_severity = Counter(f.severity for f in findings)
+    for f in findings:
+        say("  " + f.render())
+    say(f"total: {len(findings)} finding(s) "
+        f"({by_severity['error']} error, {by_severity['warning']} warning, "
+        f"{by_severity['info']} info)")
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump([{"code": f.code, "severity": f.severity,
+                        "method": f.method, "index": f.index,
+                        "message": f.message} for f in findings],
+                      fh, indent=2)
+            fh.write("\n")
+        say(f"wrote {args.json}")
+
+    if args.update_golden:
+        payload = {"workloads": sorted(workloads),
+                   "scale": args.scale,
+                   "findings": sorted(f.key for f in findings)}
+        with open(args.update_golden, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        say(f"wrote {args.update_golden}")
+
+    golden_path = args.golden
+    if golden_path is None and os.path.exists(_DEFAULT_GOLDEN) \
+            and not args.update_golden:
+        golden_path = _DEFAULT_GOLDEN
+    if golden_path:
+        try:
+            with open(golden_path) as fh:
+                golden = set(json.load(fh).get("findings", []))
+        except FileNotFoundError:
+            print(f"GOLDEN: {golden_path} not found", file=sys.stderr)
+            golden = None
+            status = 1
+        if golden is not None:
+            current = {f.key for f in findings}
+            new = sorted(current - golden)
+            resolved = sorted(golden - current)
+            for key in new:
+                print(f"NEW FINDING (not in golden): {key}",
+                      file=sys.stderr)
+            for key in resolved:
+                say(f"resolved (still in golden, consider updating): {key}")
+            if new:
+                status = 1
+            else:
+                say(f"golden: no new findings vs {golden_path}")
+
+    if args.strict and by_severity["error"]:
+        print(f"STRICT: {by_severity['error']} error finding(s)",
+              file=sys.stderr)
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

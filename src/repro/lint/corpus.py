@@ -1,0 +1,247 @@
+"""Adversarial corpus: deliberately ill-typed / ill-formed programs.
+
+Each case builds a method the verifier stack (structural + typed) must
+reject — or, for the warning-grade cases, flag — with a specific stable
+error code.  ``check_corpus`` re-runs the stack over every case and is
+wired into both the test suite and ``python -m repro.lint --selftest``,
+so a verifier change that silently stops catching one of these fails
+loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.dataflow.typestate import typecheck_method
+from ..isa.builder import ClassBuilder, ProgramBuilder
+from ..isa.method import Method, Program
+from ..isa.opcodes import ArrayType
+from ..isa.verifier import VerifyError, verify_method
+
+
+@dataclass(frozen=True)
+class CorpusCase:
+    name: str
+    expected_code: str
+    rejects: bool          # error severity => assert_types/verify rejects
+    description: str
+
+
+def _single(build_body, name="m", returns=False, argc=0):
+    """Build one method in a throwaway class, skipping program verify."""
+    cb = ClassBuilder("Corpus")
+    mb = cb.method(name, argc=argc, returns=returns, static=True)
+    build_body(mb)
+    cls = cb.build()
+    return cls.methods[name], None
+
+
+def _with_program(build_fn):
+    """build_fn(ProgramBuilder) -> MethodBuilder; returns (method, program)."""
+    pb = ProgramBuilder("corpus", main_class="Corpus")
+    name = build_fn(pb)
+    program = pb.build(verify=False)
+    return program.get_class("Corpus").methods[name], program
+
+
+# -- case bodies --------------------------------------------------------------
+
+def _int_plus_ref():
+    def body(m):
+        m.iconst(1).aconst_null().iadd().pop().return_()
+    return _single(body)
+
+
+def _float_into_istore():
+    def body(m):
+        m.fconst(1.5).istore(0).return_()
+    return _single(body)
+
+
+def _iload_of_float_local():
+    def body(m):
+        m.fconst(2.0).fstore(0).iload(0).pop().return_()
+    return _single(body)
+
+
+def _merge_int_float_stack():
+    def body(m):
+        other = m.new_label()
+        join = m.new_label()
+        m.iconst(1).ifeq(other)
+        m.iconst(5).goto(join)
+        m.bind(other).fconst(2.0)
+        m.bind(join).istore(0).return_()
+    return _single(body)
+
+
+def _getfield_on_int():
+    def build(pb):
+        cb = pb.cls("Corpus")
+        cb.field("f", "int")
+        cb.method("m", static=True).iconst(3) \
+            .getfield("Corpus", "f").pop().return_()
+        return "m"
+    return _with_program(build)
+
+
+def _monitor_on_int():
+    def body(m):
+        m.iconst(1).monitorenter().iconst(1).monitorexit().return_()
+    return _single(body)
+
+
+def _arraylength_on_object():
+    def build(pb):
+        cb = pb.cls("Corpus")
+        cb.method("m", static=True).new("Corpus") \
+            .arraylength().pop().return_()
+        return "m"
+    return _with_program(build)
+
+
+def _iaload_on_float_array():
+    def body(m):
+        m.iconst(4).newarray(ArrayType.FLOAT).iconst(0) \
+            .iaload().pop().return_()
+    return _single(body)
+
+
+def _ireturn_from_void():
+    def body(m):
+        m.iconst(1).ireturn()
+    return _single(body, returns=False)
+
+
+def _void_return_from_valued():
+    def body(m):
+        m.return_()
+    return _single(body, returns=True)
+
+
+def _monitor_leak():
+    def body(m):
+        m.aconst_null().monitorenter().return_()
+    return _single(body)
+
+
+def _exit_without_enter():
+    def body(m):
+        m.aconst_null().monitorexit().return_()
+    return _single(body)
+
+
+def _conditionally_unbalanced():
+    def body(m):
+        out = m.new_label()
+        m.aconst_null().monitorenter()
+        m.iconst(1).ifeq(out)
+        m.aconst_null().monitorexit()
+        m.bind(out).return_()
+    return _single(body)
+
+
+def _stack_underflow():
+    def body(m):
+        m.iadd().pop().return_()
+    return _single(body)
+
+
+def _aload_of_int_local():
+    def body(m):
+        m.iconst(7).istore(0).aload(0).pop().return_()
+    return _single(body)
+
+
+def _conflicted_local_read():
+    def body(m):
+        other = m.new_label()
+        join = m.new_label()
+        m.iconst(1).ifeq(other)
+        m.iconst(5).istore(0).goto(join)
+        m.bind(other).fconst(2.0).fstore(0)
+        m.bind(join).iload(0).pop().return_()
+    return _single(body)
+
+
+def _uninit_local_read():
+    def body(m):
+        m.iload(0).pop().return_()
+    return _single(body)
+
+
+_CASES = [
+    ("int_plus_ref", "RT002", True,
+     "iadd with a null reference operand", _int_plus_ref),
+    ("float_into_istore", "RT002", True,
+     "istore of a float value", _float_into_istore),
+    ("iload_of_float_local", "RT002", True,
+     "iload from a local holding a float", _iload_of_float_local),
+    ("merge_int_float_stack", "RT001", True,
+     "consuming a stack slot that merges int and float", _merge_int_float_stack),
+    ("getfield_on_int", "RT002", True,
+     "getfield with an int receiver", _getfield_on_int),
+    ("monitor_on_int", "RT002", True,
+     "monitorenter on a primitive", _monitor_on_int),
+    ("arraylength_on_object", "RT002", True,
+     "arraylength on a plain object reference", _arraylength_on_object),
+    ("iaload_on_float_array", "RT002", True,
+     "iaload from a float[] array", _iaload_on_float_array),
+    ("ireturn_from_void", "RT004", True,
+     "value-returning return in a void method", _ireturn_from_void),
+    ("void_return_from_valued", "RT004", True,
+     "void return in a result-producing method", _void_return_from_valued),
+    ("monitor_leak", "RM001", True,
+     "return while holding a monitor", _monitor_leak),
+    ("exit_without_enter", "RM002", True,
+     "monitorexit with no enter on any path", _exit_without_enter),
+    ("conditionally_unbalanced", "RM001", True,
+     "monitor released on only one path", _conditionally_unbalanced),
+    ("stack_underflow", "RS001", True,
+     "binop on an empty stack", _stack_underflow),
+    ("aload_of_int_local", "RT002", True,
+     "aload from a local holding an int", _aload_of_int_local),
+    ("conflicted_local_read", "RT003", True,
+     "read of a local that is int on one path, float on another",
+     _conflicted_local_read),
+    ("uninit_local_read", "RL004", False,
+     "read of a local no path writes (warning: VM zero-fills)",
+     _uninit_local_read),
+]
+
+CASES = [CorpusCase(n, c, r, d) for n, c, r, d, _f in _CASES]
+
+
+def _codes_for(method: Method, program: Program | None) -> tuple[list[str], bool]:
+    """(finding codes, rejected?) when verifying ``method``."""
+    try:
+        verify_method(method)
+    except VerifyError as exc:
+        return [getattr(exc, "code", "RS000")], True
+    result = typecheck_method(method, program)
+    codes = [f.code for f in result.findings]
+    return codes, bool(result.errors)
+
+
+def check_corpus() -> list[dict]:
+    """Run every case; each row reports expectation vs. observation."""
+    rows = []
+    for name, expected, rejects, description, build in _CASES:
+        method, program = build()
+        codes, rejected = _codes_for(method, program)
+        # monitor-balance cases may legitimately trip the sibling code
+        # (merge-order dependent: RM001 vs RM003); accept the family
+        ok = expected in codes
+        if not ok and expected.startswith("RM"):
+            ok = any(c.startswith("RM") for c in codes)
+        ok = ok and (rejected == rejects)
+        rows.append({
+            "name": name,
+            "expected": expected,
+            "observed": codes,
+            "rejects": rejects,
+            "rejected": rejected,
+            "ok": ok,
+            "description": description,
+        })
+    return rows

@@ -50,6 +50,13 @@ class SyncStats:
         self.release_ops = 0
         self.cycles = 0
         self.objects_locked: set[int] = set()
+        # Escape-analysis lock elision (acquisitions/releases that never
+        # reached the lock manager, bucketed by the case they would have
+        # been; violations = foreign thread touched a mid-elision object).
+        self.elided_acquires = 0
+        self.elided_releases = 0
+        self.elided_case_counts = {c: 0 for c in ALL_CASES}
+        self.elision_violations = 0
 
     @property
     def total_ops(self) -> int:
@@ -66,6 +73,10 @@ class SyncStats:
             "release_ops": self.release_ops,
             "cycles": self.cycles,
             "distinct_objects": len(self.objects_locked),
+            "elided_acquires": self.elided_acquires,
+            "elided_releases": self.elided_releases,
+            "elided_case_counts": dict(self.elided_case_counts),
+            "elision_violations": self.elision_violations,
         }
 
 

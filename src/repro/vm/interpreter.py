@@ -592,6 +592,8 @@ class Interpreter:
     def _op_new(self, thread, frame, instr):
         cls = self.loader.resolve_class(frame.method.jclass, instr.a)
         obj = self.vm.heap.new_object(cls)
+        if self.vm.lock_elision:
+            self._mark_thread_local(thread, frame, obj)
         d = len(frame.stack)
         frame.stack.append(obj)
         self._emit_alloc(frame, instr, obj, frame.slot_addr(d))
@@ -599,6 +601,8 @@ class Interpreter:
     def _op_newarray(self, thread, frame, instr):
         length = frame.stack.pop()
         arr = self.vm.heap.new_array(ArrayType(instr.a), length)
+        if self.vm.lock_elision:
+            self._mark_thread_local(thread, frame, arr)
         d = len(frame.stack)
         frame.stack.append(arr)
         self._emit_alloc(frame, instr, arr, frame.slot_addr(d))
@@ -607,9 +611,17 @@ class Interpreter:
         cls = self.loader.resolve_class(frame.method.jclass, instr.a)
         length = frame.stack.pop()
         arr = self.vm.heap.new_array("ref", length, ref_class=cls)
+        if self.vm.lock_elision:
+            self._mark_thread_local(thread, frame, arr)
         d = len(frame.stack)
         frame.stack.append(arr)
         self._emit_alloc(frame, instr, arr, frame.slot_addr(d))
+
+    def _mark_thread_local(self, thread, frame, obj) -> None:
+        """Tag ``obj`` for lock elision when this allocation site is
+        proven non-escaping (the instruction just fetched is ip-1)."""
+        if (frame.ip - 1) in self.vm.elidable_sites(frame.method):
+            obj.tl_thread = thread.thread_id
 
     def _emit_alloc(self, frame, instr, obj, push_ea):
         mode = frame.emit_mode

@@ -74,18 +74,23 @@ class JITCompiler:
     """Compiles methods for one VM instance."""
 
     def __init__(self, loader, code_cache: CodeCache, sink,
-                 hierarchy: ClassHierarchy, inline: bool = True) -> None:
+                 hierarchy: ClassHierarchy, inline: bool = True,
+                 optimize: bool = False) -> None:
         self.loader = loader
         self.code_cache = code_cache
         self.sink = sink
         self.hierarchy = hierarchy
         self.inline_enabled = inline
+        self.optimize_enabled = optimize
         self.stubs = shared_translate_stubs()
         self.methods_compiled = 0
         self.bytecodes_compiled = 0
         self.native_instructions_emitted = 0
         self.inlined_sites = 0
         self.peak_work_bytes = 0
+        self.dead_stores_eliminated = 0
+        self.spill_stores_eliminated = 0
+        self._skip_spill = False
 
     # ------------------------------------------------------------------
     # public API
@@ -93,6 +98,16 @@ class JITCompiler:
     def compile(self, method: Method) -> CompiledMethod:
         """Translate one method, charge the work to the trace, install."""
         assert not method.is_native, "native methods are never JIT-compiled"
+        dead, pop_only = frozenset(), frozenset()
+        if self.optimize_enabled:
+            # Liveness-driven DSE: stores whose local is never read again
+            # and pushes only ever consumed by POP produce no native code.
+            # Execution semantics live in the interpreter's handlers, so
+            # this only shrinks the compiled-code cost model and trace.
+            from ...analysis.dataflow.liveness import (
+                dead_stores, pop_only_pushes)
+            dead = frozenset(dead_stores(method))
+            pop_only = pop_only_pushes(method)
         protos_per_index: list[list[_Proto]] = []
         inline_info: dict[int, InlineSite] = {}
         for idx, instr in enumerate(method.code):
@@ -100,7 +115,15 @@ class JITCompiler:
             if depth < 0:      # unreachable instruction: no code
                 protos_per_index.append([])
                 continue
+            if idx in dead:
+                # Dead store_local/iinc: a pure register-mapping change,
+                # exactly like POP.
+                self.dead_stores_eliminated += 1
+                protos_per_index.append([])
+                continue
+            self._skip_spill = idx in pop_only
             protos = self._gen_instr(method, idx, instr, depth, inline_info)
+            self._skip_spill = False
             if protos:
                 protos = self._codegen_overhead(idx) + protos
             protos_per_index.append(protos)
@@ -224,6 +247,11 @@ class JITCompiler:
     def _def(self, method, slot, value_reg, out) -> None:
         """Spill-store if the destination slot has no register."""
         if self._sreg(slot) is None:
+            if self._skip_spill:
+                # Stack-liveness: every consumer of this push is a POP,
+                # so the spilled value would never be reloaded.
+                self.spill_stores_eliminated += 1
+                return
             out.append(_Proto(NCat.STORE, src1=value_reg,
                               ea=("frame", self._stack_off(method, slot))))
 
@@ -458,6 +486,8 @@ class JITCompiler:
         """Attempt to inline the call site; returns (InlineSite, protos)."""
         if not self.inline_enabled:
             return None
+        # caller-side stack liveness does not describe the callee's slots
+        self._skip_spill = False
         ref = method.pool[instr.a]
         op = instr.op
         if op is Op.INVOKEVIRTUAL:

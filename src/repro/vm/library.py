@@ -232,21 +232,31 @@ def _build_object() -> ClassBuilder:
     cb = ClassBuilder("java/lang/Object", super_name=None)
     init = cb.method("<init>")
     init.return_()
-    cb.native_method("hashCode", 0, True, _obj_hashcode, cost=15)
-    cb.native_method("equals", 1, True, _obj_equals, cost=10)
-    cb.native_method("toString", 0, True, _obj_tostring, cost=40)
+    cb.native_method("hashCode", 0, True, _obj_hashcode, cost=15,
+                     escape=("none",))
+    cb.native_method("equals", 1, True, _obj_equals, cost=10,
+                     escape=("none", "none"))
+    cb.native_method("toString", 0, True, _obj_tostring, cost=40,
+                     escape=("none",))
     return cb
 
 
 def _build_string() -> ClassBuilder:
     cb = ClassBuilder("java/lang/String")
-    cb.native_method("length", 0, True, _str_length, cost=10)
-    cb.native_method("charAt", 1, True, _str_charat, cost=15)
-    cb.native_method("equals", 1, True, _str_equals, cost=40)
-    cb.native_method("hashCode", 0, True, _str_hashcode, cost=40)
-    cb.native_method("indexOf", 1, True, _str_indexof, cost=40)
-    cb.native_method("concat", 1, True, _str_concat, cost=80)
-    cb.native_method("substring", 2, True, _str_substring, cost=40)
+    cb.native_method("length", 0, True, _str_length, cost=10,
+                     escape=("none",))
+    cb.native_method("charAt", 1, True, _str_charat, cost=15,
+                     escape=("none", "none"))
+    cb.native_method("equals", 1, True, _str_equals, cost=40,
+                     escape=("none", "none"))
+    cb.native_method("hashCode", 0, True, _str_hashcode, cost=40,
+                     escape=("none",))
+    cb.native_method("indexOf", 1, True, _str_indexof, cost=40,
+                     escape=("none", "none"))
+    cb.native_method("concat", 1, True, _str_concat, cost=80,
+                     escape=("none", "none"))
+    cb.native_method("substring", 2, True, _str_substring, cost=40,
+                     escape=("none", "none", "none"))
     return cb
 
 
@@ -279,11 +289,12 @@ def _build_stringbuffer() -> ClassBuilder:
     ln = cb.method("length", returns=True)
     ln.aload(0).getfield("java/lang/StringBuffer", "count").ireturn()
 
-    cb.native_method("_grow", 0, False, _sb_grow, synchronized=True, cost=80)
+    cb.native_method("_grow", 0, False, _sb_grow, synchronized=True, cost=80,
+                     escape=("none",))
     cb.native_method("toString", 0, True, _sb_tostring,
-                     synchronized=True, cost=80)
+                     synchronized=True, cost=80, escape=("none",))
     cb.native_method("appendString", 1, True, _sb_append_str,
-                     synchronized=True, cost=80)
+                     synchronized=True, cost=80, escape=("none", "none"))
     return cb
 
 
@@ -340,23 +351,29 @@ def _build_vector() -> ClassBuilder:
                            old.length, 4)
         vec.fields["elems"] = grown
 
-    cb.native_method("_grow", 0, False, _vec_grow, synchronized=True, cost=80)
+    cb.native_method("_grow", 0, False, _vec_grow, synchronized=True, cost=80,
+                     escape=("none",))
     return cb
 
 
 def _build_hashtable() -> ClassBuilder:
     cb = ClassBuilder("java/util/Hashtable")
-    cb.native_method("<init>", 0, False, _ht_init, cost=20)
+    cb.native_method("<init>", 0, False, _ht_init, cost=20,
+                     escape=("none",))
     put = cb.method("put", argc=2, synchronized=True)
     put.aload(0).aload(1).aload(2)
     put.invokevirtual("java/util/Hashtable", "_putNative", 2, False)
     put.return_()
+    # the key/value references are retained by the table
     cb.native_method("_putNative", 2, False, _ht_put,
-                     synchronized=True, cost=80)
-    cb.native_method("get", 1, True, _ht_get, synchronized=True, cost=40)
+                     synchronized=True, cost=80,
+                     escape=("none", "global", "global"))
+    cb.native_method("get", 1, True, _ht_get, synchronized=True, cost=40,
+                     escape=("none", "none"))
     cb.native_method("containsKey", 1, True, _ht_containskey,
-                     synchronized=True, cost=40)
-    cb.native_method("size", 0, True, _ht_size, synchronized=True, cost=10)
+                     synchronized=True, cost=40, escape=("none", "none"))
+    cb.native_method("size", 0, True, _ht_size, synchronized=True, cost=10,
+                     escape=("none",))
     return cb
 
 
@@ -376,7 +393,8 @@ def _build_system() -> ClassBuilder:
     cb = ClassBuilder("java/lang/System")
     cb.static_field("out", "ref")
     cb.native_method("arraycopy", 5, False, _system_arraycopy,
-                     static=True, cost=40)
+                     static=True, cost=40,
+                     escape=("none", "none", "none", "none", "none"))
     cb.native_method("currentTimeMillis", 0, True, _system_millis,
                      static=True, cost=20)
     return cb
@@ -396,9 +414,9 @@ def _build_printstream() -> ClassBuilder:
     pli.invokevirtual("java/io/PrintStream", "_writeInt", 1, False)
     pli.return_()
     cb.native_method("_write", 1, False, _ps_println,
-                     synchronized=True, cost=160)
+                     synchronized=True, cost=160, escape=("none", "none"))
     cb.native_method("_writeInt", 1, False, _ps_println_int,
-                     synchronized=True, cost=160)
+                     synchronized=True, cost=160, escape=("none", "none"))
     return cb
 
 

@@ -57,6 +57,8 @@ class VMResult:
         self.bytecodes_executed = sum(t.bytecodes_executed for t in vm.threads)
         self.methods_compiled = vm.jit.methods_compiled
         self.inlined_sites = vm.jit.inlined_sites
+        self.dead_stores_eliminated = vm.jit.dead_stores_eliminated
+        self.spill_stores_eliminated = vm.jit.spill_stores_eliminated
         self.sync = vm.lock_manager.stats.snapshot()
         self.sync_cycles = vm.lock_manager.stats.cycles
         self.heap = vm.heap.stats.snapshot()
@@ -104,6 +106,8 @@ class JavaVM:
         max_bytecodes: int = 80_000_000,
         spawn_daemons: bool = True,
         folding: bool = False,
+        jit_opt: bool = False,
+        lock_elision: bool = False,
     ) -> None:
         from .library import ensure_library  # local import: cycle avoidance
 
@@ -125,7 +129,12 @@ class JavaVM:
         self.hierarchy = ClassHierarchy(program)
         self.code_cache = CodeCache()
         self.jit = JITCompiler(self.loader, self.code_cache, self.sink,
-                               self.hierarchy, inline=inline)
+                               self.hierarchy, inline=inline,
+                               optimize=jit_opt)
+        self.jit_opt = jit_opt
+        self.lock_elision = lock_elision
+        self._escape_summaries = None
+        self._elision_plan: dict[int, frozenset] = {}
         self.profiler = Profiler() if profile else None
         self.interp = Interpreter(self)
         self.quantum = quantum
@@ -288,9 +297,50 @@ class JavaVM:
         return None
 
     # ------------------------------------------------------------------
+    # lock elision (escape analysis)
+    # ------------------------------------------------------------------
+    def elidable_sites(self, method: Method) -> frozenset:
+        """Alloc-site indices in ``method`` proven non-escaping."""
+        sites = self._elision_plan.get(method.method_id)
+        if sites is None:
+            if self._escape_summaries is None:
+                from ..analysis.dataflow.escape import EscapeSummaries
+                self._escape_summaries = EscapeSummaries(self.program)
+            info = self._escape_summaries.info(method)
+            sites = info.elidable_allocs if info is not None else frozenset()
+            self._elision_plan[method.method_id] = sites
+        return sites
+
+    # ------------------------------------------------------------------
     # synchronization service
     # ------------------------------------------------------------------
     def monitor_enter(self, thread: JThread, obj) -> bool:
+        tl = getattr(obj, "tl_thread", None)
+        if tl is not None:
+            stats = self.lock_manager.stats
+            if tl == thread.thread_id:
+                # Escape analysis proved the object thread-local: skip
+                # the lock manager entirely.  The shadow depth lets us
+                # classify what the acquisition would have been.
+                from ..sync.base import RECURSION_LIMIT
+                if obj.elide_depth == 0:
+                    case = "a"
+                elif obj.elide_depth < RECURSION_LIMIT:
+                    case = "b"
+                else:
+                    case = "c"
+                obj.elide_depth += 1
+                stats.elided_acquires += 1
+                stats.elided_case_counts[case] += 1
+                return True
+            # A foreign thread reached a thread-local-marked object.
+            if obj.elide_depth > 0:
+                # Mid-region: the analysis was unsound for this object.
+                # Keep the marking so the eliding owner's enter/exit
+                # pairing stays consistent; record the violation.
+                stats.elision_violations += 1
+            else:
+                obj.tl_thread = None   # demote to normal locking
         acquired, _case = self.lock_manager.acquire(
             thread.thread_id, obj, self.sink
         )
@@ -300,6 +350,11 @@ class JavaVM:
         return acquired
 
     def monitor_exit(self, thread: JThread, obj) -> None:
+        if getattr(obj, "tl_thread", None) == thread.thread_id \
+                and obj.elide_depth > 0:
+            obj.elide_depth -= 1
+            self.lock_manager.stats.elided_releases += 1
+            return
         self.lock_manager.release(thread.thread_id, obj, self.sink)
         if obj.lock is not None and obj.lock.count == 0:
             for t in self.threads:

@@ -20,7 +20,8 @@ ARRAY_HEADER_BYTES = 12
 class JObject:
     """An instance of a :class:`JClass`."""
 
-    __slots__ = ("jclass", "fields", "addr", "lock", "gc_mark")
+    __slots__ = ("jclass", "fields", "addr", "lock", "gc_mark",
+                 "tl_thread", "elide_depth")
 
     def __init__(self, jclass: JClass, addr: int) -> None:
         self.jclass = jclass
@@ -31,6 +32,11 @@ class JObject:
             self.fields[name] = 0 if ftype != "ref" else None
         self.lock = None   # lazily attached LockState
         self.gc_mark = False
+        # Lock elision: owning thread id when escape analysis proved the
+        # allocation thread-local, plus a shadow recursion depth so the
+        # elided region can still be classified and safely unwound.
+        self.tl_thread = None
+        self.elide_depth = 0
 
     @property
     def byte_size(self) -> int:
@@ -52,7 +58,7 @@ class JArray:
     primitive arrays, or the string ``"ref"`` for reference arrays."""
 
     __slots__ = ("atype", "elem_bytes", "data", "addr", "lock", "gc_mark",
-                 "ref_class")
+                 "ref_class", "tl_thread", "elide_depth")
 
     def __init__(self, atype, length: int, addr: int, ref_class: JClass | None = None) -> None:
         if length < 0:
@@ -69,6 +75,8 @@ class JArray:
         self.ref_class = ref_class
         self.lock = None
         self.gc_mark = False
+        self.tl_thread = None
+        self.elide_depth = 0
 
     @property
     def length(self) -> int:

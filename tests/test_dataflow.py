@@ -1,0 +1,325 @@
+"""Dataflow framework units: CFG, solver, typestate, liveness,
+constant propagation, escape analysis."""
+
+import pytest
+
+from repro.analysis.dataflow import build_cfg, check_fixpoint, solve
+from repro.analysis.dataflow.constprop import (
+    ConstProblem,
+    constant_branches,
+    solve_constants,
+)
+from repro.analysis.dataflow.escape import (
+    GLOBAL,
+    NO_ESCAPE,
+    EscapeSummaries,
+)
+from repro.analysis.dataflow.liveness import (
+    LivenessProblem,
+    dead_stores,
+    def_use_chains,
+    pop_only_pushes,
+)
+from repro.analysis.dataflow.typestate import (
+    INT,
+    TypedVerifyError,
+    assert_types,
+    typecheck_method,
+)
+from repro.isa import ClassBuilder, Op, ProgramBuilder, verify_method
+from repro.isa.instruction import Instr
+from repro.isa.method import Method
+
+
+def _method(code, argc=0, max_locals=None):
+    m = Method("m", argc=argc, is_static=True, max_locals=max_locals,
+               code=code)
+    cls = ClassBuilder("C").build()
+    m.jclass = cls
+    m.pool = cls.pool
+    verify_method(m)
+    return m
+
+
+class TestCFG:
+    def test_straight_line_single_block(self):
+        m = _method([Instr(Op.ICONST, 1), Instr(Op.POP), Instr(Op.RETURN)])
+        cfg = build_cfg(m)
+        assert len(cfg.blocks) == 1
+        assert cfg.blocks[0].start == 0 and cfg.blocks[0].end == 3
+
+    def test_branch_splits_blocks(self):
+        m = _method([
+            Instr(Op.ICONST, 1),          # 0
+            Instr(Op.IFEQ, 4),            # 1
+            Instr(Op.ICONST, 2),          # 2
+            Instr(Op.POP),                # 3
+            Instr(Op.RETURN),             # 4
+        ])
+        cfg = build_cfg(m)
+        starts = sorted(b.start for b in cfg.blocks)
+        assert starts == [0, 2, 4]
+        entry = cfg.blocks[cfg.block_index[0]]
+        succ_starts = sorted(cfg.blocks[s].start for s, _k in entry.succs)
+        assert succ_starts == [2, 4]
+        kinds = {k for _s, k in entry.succs}
+        assert kinds == {"branch", "fall"}
+
+    def test_loop_back_edge(self):
+        m = _method([
+            Instr(Op.ICONST, 0),          # 0
+            Instr(Op.ICONST, 1),          # 1 <- loop head
+            Instr(Op.POP),                # 2
+            Instr(Op.GOTO, 1),            # 3
+        ])
+        cfg = build_cfg(m)
+        head = cfg.block_index[1]
+        assert any(s == head and k == "goto"
+                   for b in cfg.blocks for s, k in b.succs)
+
+    def test_rpo_starts_at_entry(self):
+        m = _method([
+            Instr(Op.ICONST, 1), Instr(Op.IFEQ, 4),
+            Instr(Op.ICONST, 2), Instr(Op.POP), Instr(Op.RETURN),
+        ])
+        order = build_cfg(m).reachable_rpo()
+        assert order[0] == 0
+        assert len(order) == 3
+
+
+class TestTypestate:
+    def test_simple_int_flow(self):
+        m = _method([Instr(Op.ICONST, 1), Instr(Op.ICONST, 2),
+                     Instr(Op.IADD), Instr(Op.POP), Instr(Op.RETURN)])
+        result = typecheck_method(m)
+        assert not result.findings
+
+    def test_stack_maps_attached(self):
+        m = _method([
+            Instr(Op.ICONST, 1), Instr(Op.IFEQ, 4),
+            Instr(Op.ICONST, 2), Instr(Op.POP), Instr(Op.RETURN),
+        ])
+        typecheck_method(m)
+        assert m.stack_maps
+        starts = [entry[0] for entry in m.stack_maps]
+        assert 0 in starts
+
+    def test_ill_typed_rejected_by_assert_types(self):
+        m = _method([Instr(Op.FCONST, 1), Instr(Op.ISTORE, 0),
+                     Instr(Op.RETURN)], max_locals=1)
+        with pytest.raises(TypedVerifyError) as exc:
+            assert_types(m)
+        assert exc.value.code.startswith("RT")
+
+    def test_int_local_typed_int(self):
+        m = _method([Instr(Op.ICONST, 7), Instr(Op.ISTORE, 0),
+                     Instr(Op.ILOAD, 0), Instr(Op.POP),
+                     Instr(Op.RETURN)], max_locals=1)
+        result = typecheck_method(m)
+        assert not result.findings
+        # the local is int at the reload
+        _, locals_at = result.solution.in_states[2]
+        assert locals_at[0] == INT
+
+
+class TestLiveness:
+    def test_dead_store_found(self):
+        m = _method([Instr(Op.ICONST, 1), Instr(Op.ISTORE, 0),
+                     Instr(Op.RETURN)], max_locals=1)
+        assert dead_stores(m) == [1]
+
+    def test_live_store_not_flagged(self):
+        m = _method([Instr(Op.ICONST, 1), Instr(Op.ISTORE, 0),
+                     Instr(Op.ILOAD, 0), Instr(Op.POP),
+                     Instr(Op.RETURN)], max_locals=1)
+        assert dead_stores(m) == []
+
+    def test_store_live_through_loop(self):
+        m = _method([
+            Instr(Op.ICONST, 9), Instr(Op.ISTORE, 0),     # 0, 1
+            Instr(Op.ILOAD, 0), Instr(Op.IFEQ, 6),        # 2, 3
+            Instr(Op.IINC, 0, -1), Instr(Op.GOTO, 2),     # 4, 5
+            Instr(Op.RETURN),                             # 6
+        ], max_locals=1)
+        assert dead_stores(m) == []
+
+    def test_def_use_chain_links_store_to_load(self):
+        m = _method([Instr(Op.ICONST, 1), Instr(Op.ISTORE, 0),
+                     Instr(Op.ILOAD, 0), Instr(Op.POP),
+                     Instr(Op.RETURN)], max_locals=1)
+        chains = def_use_chains(m)
+        assert 2 in chains.get(1, set())
+
+    def test_pop_only_push_detected(self):
+        m = _method([Instr(Op.ICONST, 5), Instr(Op.POP),
+                     Instr(Op.RETURN)])
+        assert 0 in pop_only_pushes(m)
+
+    def test_consumed_push_not_pop_only(self):
+        m = _method([Instr(Op.ICONST, 5), Instr(Op.ICONST, 2),
+                     Instr(Op.IADD), Instr(Op.POP), Instr(Op.RETURN)])
+        assert 0 not in pop_only_pushes(m)
+
+
+class TestConstProp:
+    def test_constant_branch_found(self):
+        m = _method([
+            Instr(Op.ICONST, 0),          # 0: constant 0
+            Instr(Op.IFEQ, 4),            # 1: always taken
+            Instr(Op.NOP),                # 2
+            Instr(Op.NOP),                # 3
+            Instr(Op.RETURN),             # 4
+        ])
+        findings = constant_branches(m)
+        assert [f.code for f in findings] == ["RL003"]
+        assert findings[0].index == 1
+
+    def test_dynamic_branch_quiet(self, ):
+        m = _method([
+            Instr(Op.ILOAD, 0),           # parameter: not a constant
+            Instr(Op.IFEQ, 3),
+            Instr(Op.NOP),
+            Instr(Op.RETURN),
+        ], argc=1)
+        assert constant_branches(m) == []
+
+    def test_arithmetic_folds_like_vm(self):
+        # (7 * 5 - 3) & 0xF == 0 -> branch constant
+        m = _method([
+            Instr(Op.ICONST, 7), Instr(Op.ICONST, 5), Instr(Op.IMUL),
+            Instr(Op.ICONST, 3), Instr(Op.ISUB),
+            Instr(Op.ICONST, 32), Instr(Op.IAND),
+            Instr(Op.IFEQ, 9),
+            Instr(Op.NOP),
+            Instr(Op.RETURN),
+        ])
+        assert [f.code for f in constant_branches(m)] == ["RL003"]
+
+    def test_copy_propagation_through_local(self):
+        m = _method([
+            Instr(Op.ICONST, 1), Instr(Op.ISTORE, 0),
+            Instr(Op.ILOAD, 0), Instr(Op.IFEQ, 5),
+            Instr(Op.NOP), Instr(Op.RETURN),
+        ], max_locals=1)
+        assert [f.code for f in constant_branches(m)] == ["RL003"]
+
+    def test_merge_kills_constant(self):
+        m = _method([
+            Instr(Op.ILOAD, 0),           # 0
+            Instr(Op.IFEQ, 4),            # 1
+            Instr(Op.ICONST, 1),          # 2: one path: 1
+            Instr(Op.GOTO, 5),            # 3
+            Instr(Op.ICONST, 2),          # 4: other: 2
+            Instr(Op.IFEQ, 7),            # 5: merged -> not constant
+            Instr(Op.NOP),                # 6
+            Instr(Op.RETURN),             # 7
+        ], argc=1)
+        assert constant_branches(m) == []
+
+
+class TestEscape:
+    def test_local_alloc_is_elidable(self):
+        pb = ProgramBuilder("t", main_class="E")
+        c = pb.cls("E")
+        m = c.method("main", static=True)
+        m.new("E").dup().monitorenter().monitorexit().return_()
+        program = pb.build(verify=False)
+        summaries = EscapeSummaries(program)
+        main = program.get_class("E").methods["main"]
+        assert summaries.elidable_allocs(main) == frozenset({0})
+
+    def test_putstatic_escapes(self):
+        pb = ProgramBuilder("t", main_class="E")
+        c = pb.cls("E")
+        c.static_field("g", "ref")
+        m = c.method("main", static=True)
+        m.new("E").putstatic("E", "g").return_()
+        program = pb.build(verify=False)
+        summaries = EscapeSummaries(program)
+        main = program.get_class("E").methods["main"]
+        assert summaries.elidable_allocs(main) == frozenset()
+
+    def test_returned_alloc_not_elidable(self):
+        pb = ProgramBuilder("t", main_class="E")
+        c = pb.cls("E")
+        f = c.method("make", static=True, returns=True)
+        f.new("E").areturn()
+        m = c.method("main", static=True)
+        m.invokestatic("E", "make", 0, True).pop().return_()
+        program = pb.build(verify=False)
+        summaries = EscapeSummaries(program)
+        make = program.get_class("E").methods["make"]
+        assert summaries.elidable_allocs(make) == frozenset()
+
+    def test_callee_summary_keeps_arg_local(self):
+        # use(o) only reads a field: passing a fresh alloc to it is safe
+        pb = ProgramBuilder("t", main_class="E")
+        c = pb.cls("E")
+        c.field("v", "int")
+        use = c.method("use", argc=1, static=True)
+        use.aload(0).getfield("E", "v").pop().return_()
+        m = c.method("main", static=True)
+        m.new("E").dup()
+        m.invokestatic("E", "use", 1, False)
+        m.monitorenter()
+        m.new("E").monitorexit()
+        m.return_()
+        program = pb.build(verify=False)
+        summaries = EscapeSummaries(program)
+        assert summaries.summary(
+            program.get_class("E").methods["use"])[0] == NO_ESCAPE
+
+    def test_unresolvable_invoke_escapes_args(self):
+        pb = ProgramBuilder("t", main_class="E")
+        c = pb.cls("E")
+        m = c.method("main", static=True)
+        m.new("E").dup()
+        m.invokevirtual("Unknown", "mystery", 0, False)
+        m.monitorenter()
+        m.new("E").monitorexit()
+        m.return_()
+        program = pb.build(verify=False)
+        summaries = EscapeSummaries(program)
+        main = program.get_class("E").methods["main"]
+        assert 0 not in summaries.elidable_allocs(main)
+
+    def test_native_escape_annotation_honoured(self):
+        pb = ProgramBuilder("t", main_class="E")
+        c = pb.cls("E")
+        c.native_method("safe", 0, False, lambda vm, t, a: None,
+                        escape=("none",))
+        m = c.method("main", static=True)
+        m.new("E").dup()
+        m.invokevirtual("E", "safe", 0, False)
+        m.monitorenter()
+        m.new("E").monitorexit()
+        m.return_()
+        program = pb.build(verify=False)
+        summaries = EscapeSummaries(program)
+        main = program.get_class("E").methods["main"]
+        assert 0 in summaries.elidable_allocs(main)
+        safe = program.get_class("E").methods["safe"]
+        assert summaries.summary(safe) == (NO_ESCAPE,)
+
+    def test_unannotated_native_is_global(self):
+        pb = ProgramBuilder("t", main_class="E")
+        c = pb.cls("E")
+        c.native_method("wild", 0, False, lambda vm, t, a: None)
+        program = pb.build(verify=False)
+        summaries = EscapeSummaries(program)
+        wild = program.get_class("E").methods["wild"]
+        assert summaries.summary(wild) == (GLOBAL,)
+
+
+class TestSolverGenerics:
+    def test_forward_and_backward_fixpoints_check(self):
+        m = _method([
+            Instr(Op.ICONST, 3), Instr(Op.ISTORE, 0),
+            Instr(Op.ILOAD, 0), Instr(Op.IFEQ, 5),
+            Instr(Op.IINC, 0, -1),
+            Instr(Op.RETURN),
+        ], max_locals=1)
+        live = solve(m, LivenessProblem())
+        assert check_fixpoint(m, LivenessProblem(), live)
+        consts = solve_constants(m)
+        assert check_fixpoint(m, ConstProblem(), consts)

@@ -1,0 +1,66 @@
+"""The lint pipeline: adversarial corpus, clean workloads, golden
+findings, CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.lint import lint_workload
+from repro.lint.__main__ import main as lint_main
+from repro.lint.corpus import CASES, check_corpus
+
+_ROWS = {row["name"]: row for row in check_corpus()}
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c.name)
+def test_corpus_case_caught(case):
+    row = _ROWS[case.name]
+    assert row["ok"], (
+        f"{case.name}: expected {case.expected_code} "
+        f"(rejects={case.rejects}), observed {row['observed']} "
+        f"(rejected={row['rejected']})"
+    )
+
+
+def test_corpus_rejects_at_least_ten_programs():
+    assert sum(1 for c in CASES if c.rejects) >= 10
+
+
+def test_corpus_codes_are_distinct_families():
+    codes = {c.expected_code for c in CASES}
+    assert any(c.startswith("RT") for c in codes)
+    assert any(c.startswith("RM") for c in codes)
+    assert any(c.startswith("RS") for c in codes)
+
+
+@pytest.mark.parametrize("workload", ("compress", "db", "jack"))
+def test_workloads_have_no_error_findings(workload):
+    findings = lint_workload(workload, scale="s0")
+    errors = [f for f in findings if f.severity == "error"]
+    assert errors == []
+
+
+def test_golden_file_matches_current_findings():
+    path = os.path.join(os.path.dirname(__file__), os.pardir, "src",
+                        "repro", "lint", "golden_findings.json")
+    with open(path) as fh:
+        golden = json.load(fh)
+    current = set()
+    for name in golden["workloads"]:
+        current.update(f.key for f in lint_workload(name,
+                                                    scale=golden["scale"]))
+    assert current == set(golden["findings"])
+
+
+def test_cli_strict_selftest_passes():
+    assert lint_main(["--strict", "--selftest", "--quiet",
+                      "--workloads", "compress,jack"]) == 0
+
+
+def test_cli_json_output(tmp_path):
+    out = tmp_path / "findings.json"
+    assert lint_main(["--quiet", "--workloads", "javac",
+                      "--json", str(out)]) == 0
+    data = json.loads(out.read_text())
+    assert any(f["code"] == "RL002" for f in data)

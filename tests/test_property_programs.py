@@ -116,3 +116,49 @@ def test_trace_replay_simulators_accept_any_program(ops):
     assert res.icache.total_refs == result.trace.n
     preds = compare_predictors(result.trace, names=("gshare",))
     assert preds["gshare"].transfers > 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(_op_indices)
+def test_dataflow_fixpoints_are_idempotent(ops):
+    """Re-applying every transfer at the solved fixpoint changes nothing."""
+    from repro.analysis.dataflow import check_fixpoint
+    from repro.analysis.dataflow.constprop import ConstProblem
+    from repro.analysis.dataflow.liveness import LivenessProblem
+    from repro.analysis.dataflow.typestate import TypeProblem
+    from repro.analysis.dataflow.solver import solve
+
+    program = _build(ops).build()
+    method = program.get_class("P").methods["main"]
+    for problem in (TypeProblem(program), LivenessProblem(),
+                    ConstProblem()):
+        assert check_fixpoint(method, problem, solve(method, problem))
+
+
+@settings(max_examples=40, deadline=None)
+@given(_op_indices)
+def test_typed_verifier_accepts_generated_programs(ops):
+    """Anything the generator emits is well-typed: the typed verifier
+    must agree with the interpreter's acceptance."""
+    from repro.analysis.dataflow.typestate import typecheck_method
+
+    pb = _build(ops)
+    program = pb.build(typed=True)       # typed verification at link time
+    method = program.get_class("P").methods["main"]
+    result = typecheck_method(method, program)
+    assert not result.errors
+    # the same program still runs
+    vm = JavaVM(program, strategy=InterpretOnly(), spawn_daemons=False)
+    assert vm.run().stdout
+
+
+@settings(max_examples=30, deadline=None)
+@given(_op_indices)
+def test_jit_optimizations_preserve_semantics(ops):
+    """Liveness DSE + escape-analysis lock elision never change output."""
+    base = _run(_build(ops), CompileOnFirstUse())
+    opt = _run(_build(ops), CompileOnFirstUse(), jit_opt=True,
+               lock_elision=True)
+    assert base.stdout == opt.stdout
+    assert base.bytecodes_executed == opt.bytecodes_executed
+    assert opt.sync["elision_violations"] == 0

@@ -104,7 +104,10 @@ class TestExplicitMonitors:
         from repro.vm import VMError
         pb = ProgramBuilder("t", main_class="Main")
         m = pb.cls("Main").method("main", static=True)
+        # Statically balanced (the verifier now rejects unbalanced
+        # monitors); the runtime null check fires at the monitorenter.
         m.aconst_null().monitorenter()
+        m.aconst_null().monitorexit()
         m.return_()
         with pytest.raises(VMError, match="null"):
             run_program(pb)

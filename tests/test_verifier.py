@@ -65,10 +65,27 @@ class TestRejections:
         with pytest.raises(VerifyError, match="underflow"):
             verify_method(m)
 
-    def test_overflow(self):
+    def test_overflow_explicit_limit(self):
         m = _method([Instr(Op.ICONST, 1)] * 70 + [Instr(Op.RETURN)])
-        with pytest.raises(VerifyError, match="overflow"):
+        with pytest.raises(VerifyError, match="exceeds max_stack 64") as exc:
+            verify_method(m, max_stack=64)
+        assert exc.value.code == "RS002"
+
+    def test_overflow_declared_limit(self):
+        m = _method([Instr(Op.ICONST, 1)] * 4 + [Instr(Op.RETURN)])
+        m.declared_max_stack = 3
+        with pytest.raises(VerifyError, match="exceeds max_stack 3"):
             verify_method(m)
+
+    def test_computed_limit_admits_deep_stacks(self):
+        # No declared limit: the bound comes from the method itself, so
+        # the historical 64-slot default no longer rejects deep pushes.
+        code = [Instr(Op.ICONST, 1)] * 70
+        code += [Instr(Op.POP)] * 70
+        code += [Instr(Op.RETURN)]
+        m = _method(code)
+        verify_method(m)
+        assert m.max_stack == 70
 
     def test_fall_off_end(self):
         m = _method([Instr(Op.NOP)])
@@ -124,6 +141,61 @@ class TestRejections:
         m = _method([Instr(Op.IRETURN)])
         with pytest.raises(VerifyError, match="underflow"):
             verify_method(m)
+
+
+class TestMonitorBalance:
+    def test_balanced_monitors_accepted(self):
+        m = _method([
+            Instr(Op.ACONST_NULL), Instr(Op.DUP),
+            Instr(Op.MONITORENTER), Instr(Op.MONITOREXIT),
+            Instr(Op.RETURN),
+        ])
+        verify_method(m)
+
+    def test_return_while_holding_monitor(self):
+        m = _method([Instr(Op.ACONST_NULL), Instr(Op.MONITORENTER),
+                     Instr(Op.RETURN)])
+        with pytest.raises(VerifyError, match="holding") as exc:
+            verify_method(m)
+        assert exc.value.code == "RM001"
+
+    def test_exit_without_enter(self):
+        m = _method([Instr(Op.ACONST_NULL), Instr(Op.MONITOREXIT),
+                     Instr(Op.RETURN)])
+        with pytest.raises(VerifyError, match="without a matching") as exc:
+            verify_method(m)
+        assert exc.value.code == "RM002"
+
+    def test_unbalanced_on_one_path(self):
+        # Taken path skips the monitorexit, so the return at 6 is
+        # reached both holding and not holding the monitor.
+        m = _method([
+            Instr(Op.ACONST_NULL),       # 0
+            Instr(Op.MONITORENTER),      # 1
+            Instr(Op.ICONST, 1),         # 2
+            Instr(Op.IFEQ, 6),           # 3 -> 6 with monitor held
+            Instr(Op.ACONST_NULL),       # 4
+            Instr(Op.MONITOREXIT),       # 5
+            Instr(Op.RETURN),            # 6
+        ])
+        with pytest.raises(VerifyError) as exc:
+            verify_method(m)
+        assert exc.value.code in ("RM001", "RM003")
+
+    def test_inconsistent_monitor_depth_at_merge(self):
+        m = _method([
+            Instr(Op.ICONST, 1),         # 0
+            Instr(Op.IFEQ, 4),           # 1 -> 4 with no monitor
+            Instr(Op.ACONST_NULL),       # 2
+            Instr(Op.MONITORENTER),      # 3, falls into 4 holding one
+            Instr(Op.NOP),               # 4: merge point
+            Instr(Op.ACONST_NULL),       # 5
+            Instr(Op.MONITOREXIT),       # 6
+            Instr(Op.RETURN),            # 7
+        ])
+        with pytest.raises(VerifyError) as exc:
+            verify_method(m)
+        assert exc.value.code in ("RM002", "RM003")
 
 
 class TestInvokeArity:
