@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import hashlib
 import io
+import itertools
 import json
 import os
 import pickle
@@ -37,6 +38,7 @@ import zipfile
 import numpy as np
 
 from ..native.trace import Trace
+from ..obs import TRACER
 
 try:  # pragma: no cover - fcntl exists on every POSIX we target
     import fcntl
@@ -241,7 +243,14 @@ class FileLock:
         os.makedirs(os.path.dirname(self.lock_path) or ".", exist_ok=True)
         self._fd = os.open(self.lock_path, os.O_CREAT | os.O_RDWR, 0o644)
         if fcntl is not None:
-            fcntl.flock(self._fd, fcntl.LOCK_EX)
+            if TRACER.enabled:
+                started = time.perf_counter()
+                fcntl.flock(self._fd, fcntl.LOCK_EX)
+                TRACER.emit("cache.lock_wait",
+                            time.perf_counter() - started,
+                            entry=os.path.basename(self.lock_path))
+            else:
+                fcntl.flock(self._fd, fcntl.LOCK_EX)
         return self
 
     def __exit__(self, *exc) -> None:
@@ -252,12 +261,21 @@ class FileLock:
             self._fd = None
 
 
+#: Monotonic suffix making temp names unique *within* a process too: a
+#: pid-only name lets two threads storing the same key truncate and
+#: rename each other's in-flight temp file.
+_TMP_IDS = itertools.count(1)
+
+
 def _atomic_write(path: str, data: bytes) -> None:
     """Write ``data`` to ``path`` via a same-directory temp file and an
     atomic rename, so readers never observe a partial archive."""
     directory = os.path.dirname(path) or "."
     os.makedirs(directory, exist_ok=True)
-    tmp = os.path.join(directory, f".tmp-{os.getpid()}-{os.path.basename(path)}")
+    tmp = os.path.join(
+        directory,
+        f".tmp-{os.getpid()}-{next(_TMP_IDS)}-{os.path.basename(path)}",
+    )
     try:
         with open(tmp, "wb") as fh:
             fh.write(data)
@@ -305,19 +323,25 @@ def load_trace(path: str) -> Trace | None:
     Counts a hit, a miss, or a corrupt-recompute in :data:`STATS`.
     """
     started = time.perf_counter()
+    trace = None
+    outcome = "hit"
     try:
         trace = Trace.load(path)
     except FileNotFoundError:
+        outcome = "miss"
         STATS.count("trace_misses")
-        return None
     except _CORRUPT_ERRORS:
+        outcome = "corrupt"
         STATS.count("corrupt")
         STATS.count("trace_misses")
         _discard(path)
-        return None
-    finally:
-        STATS.time("lookup_seconds", time.perf_counter() - started)
-    STATS.count("trace_hits")
+    else:
+        STATS.count("trace_hits")
+    elapsed = time.perf_counter() - started
+    STATS.time("lookup_seconds", elapsed)
+    if TRACER.enabled:
+        TRACER.emit("cache.lookup", elapsed, kind="trace", outcome=outcome)
+        TRACER.add(f"cache.trace_{outcome}")
     return trace
 
 
@@ -330,7 +354,10 @@ def store_trace(path: str, trace: Trace) -> None:
     with FileLock(path):
         _atomic_write(path, buf.getvalue())
     STATS.count("stores")
-    STATS.time("store_seconds", time.perf_counter() - started)
+    elapsed = time.perf_counter() - started
+    STATS.time("store_seconds", elapsed)
+    if TRACER.enabled:
+        TRACER.emit("cache.store", elapsed, kind="trace")
 
 
 # -- pickled run results -----------------------------------------------
@@ -338,20 +365,26 @@ def store_trace(path: str, trace: Trace) -> None:
 def load_run(path: str):
     """Load a cached ``VMResult``; ``None`` on absence or corruption."""
     started = time.perf_counter()
+    result = None
+    outcome = "hit"
     try:
         with open(path, "rb") as fh:
             result = pickle.load(fh)
     except FileNotFoundError:
+        outcome = "miss"
         STATS.count("run_misses")
-        return None
     except _CORRUPT_ERRORS:
+        outcome = "corrupt"
         STATS.count("corrupt")
         STATS.count("run_misses")
         _discard(path)
-        return None
-    finally:
-        STATS.time("lookup_seconds", time.perf_counter() - started)
-    STATS.count("run_hits")
+    else:
+        STATS.count("run_hits")
+    elapsed = time.perf_counter() - started
+    STATS.time("lookup_seconds", elapsed)
+    if TRACER.enabled:
+        TRACER.emit("cache.lookup", elapsed, kind="run", outcome=outcome)
+        TRACER.add(f"cache.run_{outcome}")
     return result
 
 
@@ -361,7 +394,10 @@ def store_run(path: str, result) -> None:
     with FileLock(path):
         _atomic_write(path, blob)
     STATS.count("stores")
-    STATS.time("store_seconds", time.perf_counter() - started)
+    elapsed = time.perf_counter() - started
+    STATS.time("store_seconds", elapsed)
+    if TRACER.enabled:
+        TRACER.emit("cache.store", elapsed, kind="run")
 
 
 def prune(cache_dir: str | None = None) -> int:

@@ -24,6 +24,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from multiprocessing import get_context
 
+from ..obs import TRACER
 from . import cache
 
 #: Job kinds and the runner entry point each one exercises.
@@ -92,35 +93,47 @@ def dedupe(jobs) -> list[Job]:
     return out
 
 
-def execute_job(job: Job, cache_dir: str | None = None) -> dict:
+def execute_job(job: Job, cache_dir: str | None = None,
+                ship_events: bool = False) -> dict:
     """Run one job (in a worker or inline), returning its outcome.
 
     The useful side effect is cache population; the outcome carries
     timing plus the cache-stats delta so the parent can aggregate
-    hit/miss counters across processes.
+    hit/miss counters across processes.  With ``ship_events`` (set by
+    the pool when the parent's tracer is on) the worker enables its own
+    tracer and drains its span/counter buffer into the outcome, so the
+    parent can absorb per-job spans at join.
     """
     from . import runner  # late import: workers pay it once
 
+    if ship_events and not TRACER.enabled:
+        TRACER.enable()
     before = cache.STATS.snapshot()
     started = time.perf_counter()
     error = None
-    try:
-        if job.kind == "trace":
-            runner.get_trace(job.workload, job.scale, job.mode,
-                             cache_dir=cache_dir)
-        elif job.kind == "run":
-            runner.run_vm(job.workload, scale=job.scale, mode=job.mode,
-                          cache_dir=cache_dir, **dict(job.options))
-        else:
-            runner.oracle_run(job.workload, job.scale, cache_dir=cache_dir)
-    except Exception as exc:  # noqa: BLE001 - reported, not swallowed
-        error = f"{type(exc).__name__}: {exc}"
-    return {
+    with TRACER.span("job", kind=job.kind, workload=job.workload,
+                     scale=job.scale, mode=str(job.mode)):
+        try:
+            if job.kind == "trace":
+                runner.get_trace(job.workload, job.scale, job.mode,
+                                 cache_dir=cache_dir)
+            elif job.kind == "run":
+                runner.run_vm(job.workload, scale=job.scale, mode=job.mode,
+                              cache_dir=cache_dir, **dict(job.options))
+            else:
+                runner.oracle_run(job.workload, job.scale,
+                                  cache_dir=cache_dir)
+        except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+            error = f"{type(exc).__name__}: {exc}"
+    outcome = {
         "job": job,
         "seconds": time.perf_counter() - started,
         "stats": cache.CacheStats.diff(cache.STATS.snapshot(), before),
         "error": error,
     }
+    if ship_events:
+        outcome["events"] = TRACER.drain()
+    return outcome
 
 
 def _worker_init(path: list) -> None:
@@ -173,6 +186,11 @@ def run_jobs(
     total = len(jobs)
 
     def finish(i: int, outcome: dict) -> None:
+        events = outcome.pop("events", None)
+        if events:
+            # Per-process buffers merge at join: the parent inherits
+            # the worker's spans (job, vm phases, cache traffic).
+            TRACER.absorb(events)
         summary.outcomes.append(outcome)
         summary.stats.merge(outcome["stats"])
         if progress is not None:
@@ -191,7 +209,8 @@ def run_jobs(
         initializer=_worker_init,
         initargs=(list(sys.path),),
     ) as pool:
-        pending = {pool.submit(execute_job, job, cache_dir): job
+        ship_events = TRACER.enabled
+        pending = {pool.submit(execute_job, job, cache_dir, ship_events): job
                    for job in jobs}
         done_count = 0
         while pending:

@@ -25,6 +25,7 @@ import time
 from ..analysis.replay import clear_replay_memo
 from ..arch.kernels import ENV_VAR, KERNELS
 from ..experiments.base import collect_jobs, get_experiment
+from ..obs import TRACER, measure_disabled_overhead
 
 #: The replay-dominated experiments the acceptance targets name.
 DEFAULT_TARGETS = ("fig3", "fig7", "table3")
@@ -140,8 +141,9 @@ def run_bench(targets=DEFAULT_TARGETS, scale: str = "s0",
         entry: dict = {}
         results = {}
         for kernel in KERNELS:
-            best, runs, result = _time_target(fn, kernel, repeats,
-                                              scale, benchmarks)
+            with TRACER.span("bench.target", id=exp_id, kernel=kernel):
+                best, runs, result = _time_target(fn, kernel, repeats,
+                                                  scale, benchmarks)
             entry[f"{kernel}_seconds"] = round(best, 4)
             entry[f"{kernel}_runs"] = [round(s, 4) for s in runs]
             results[kernel] = result
@@ -160,6 +162,17 @@ def run_bench(targets=DEFAULT_TARGETS, scale: str = "s0",
         for name, entry in report["analysis"].items():
             say(f"{name:10s} {entry['methods']:3d} methods "
                 f"{entry['total_ms']:8.1f}ms total")
+    if not TRACER.enabled:
+        # Record the disabled tracer's per-call cost alongside the
+        # kernel numbers so the zero-overhead-when-off property is a
+        # tracked measurement, not an assumption.
+        probe = measure_disabled_overhead(100_000)
+        report["obs_overhead"] = {
+            "check_ns": round(probe["check_ns"], 1),
+            "span_ns": round(probe["span_ns"], 1),
+        }
+        say(f"disabled tracer: {report['obs_overhead']['check_ns']}ns "
+            f"check, {report['obs_overhead']['span_ns']}ns span()")
     return report
 
 

@@ -13,6 +13,7 @@ import argparse
 import os
 import sys
 
+from .. import obs
 from . import (DEFAULT_TARGETS, check_regression, load_report, run_bench,
                save_report)
 
@@ -44,10 +45,18 @@ def main(argv=None) -> int:
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="trace cache directory (default: "
                              "$REPRO_TRACE_CACHE or .trace_cache)")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="record span/counter events and write them "
+                             "as JSONL (also enabled by $REPRO_OBS)")
     args = parser.parse_args(argv)
 
     if args.cache_dir is not None:
         os.environ["REPRO_TRACE_CACHE"] = args.cache_dir
+
+    trace_path = args.trace or os.environ.get("REPRO_OBS") or None
+    if trace_path:
+        obs.TRACER.enable()
+        obs.TRACER.reset()
 
     targets = [t for t in args.targets.split(",") if t]
     benchmarks = args.benchmarks.split(",") if args.benchmarks else None
@@ -67,6 +76,18 @@ def main(argv=None) -> int:
     if args.out:
         save_report(report, args.out)
         print(f"wrote {args.out}")
+        manifest = obs.build_manifest(
+            "repro.bench",
+            argv=argv if argv is not None else sys.argv[1:],
+            extra={"targets": targets, "scale": args.scale,
+                   "benchmarks": benchmarks, "repeats": args.repeats},
+        )
+        manifest_path = obs.manifest_path_for(args.out)
+        obs.write_manifest(manifest_path, manifest)
+        print(f"wrote manifest to {manifest_path}")
+    if trace_path:
+        n_events = obs.write_events(trace_path)
+        print(f"wrote {n_events} events to {trace_path}")
 
     if args.check:
         failures = check_regression(report, load_report(args.check),

@@ -17,7 +17,9 @@ import argparse
 import os
 import sys
 import time
+import traceback
 
+from .. import obs
 from ..analysis import cache
 from ..analysis.parallel import run_jobs
 from .base import all_experiments, collect_jobs, get_experiment
@@ -70,8 +72,17 @@ def main(argv=None) -> int:
                              "$REPRO_TRACE_CACHE or .trace_cache; "
                              "'' disables caching)")
     parser.add_argument("--json", default=None, metavar="FILE",
-                        help="also dump all results as JSON")
+                        help="also dump all results as JSON (plus a "
+                             "run manifest next to it)")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="record span/counter events and write them "
+                             "as JSONL (also enabled by $REPRO_OBS)")
     args = parser.parse_args(argv)
+
+    trace_path = args.trace or os.environ.get("REPRO_OBS") or None
+    if trace_path:
+        obs.TRACER.enable()
+        obs.TRACER.reset()  # scope the stream to this invocation
 
     if args.cache_dir is not None:
         # Call-time resolution means the whole run (and its spawned
@@ -113,18 +124,41 @@ def main(argv=None) -> int:
                       f"{outcome['error']}", file=sys.stderr)
 
     collected = []
+    ran = []          # per-experiment manifest entries, in run order
+    failures = []
     for exp_id in ids:
         try:
             fn = get_experiment(exp_id)
         except KeyError as exc:
             print(exc, file=sys.stderr)
             status = 2
+            ran.append({"id": exp_id, "seconds": 0.0, "error": str(exc)})
             continue
-        started = time.time()
-        result = fn(scale=args.scale, benchmarks=benchmarks)
+        # perf_counter, matching the rest of the stack, so these
+        # durations are comparable with span/manifest timings.
+        started = time.perf_counter()
+        try:
+            with obs.TRACER.span("experiment", id=exp_id):
+                result = fn(scale=args.scale, benchmarks=benchmarks)
+        except Exception as exc:  # noqa: BLE001 - one failure must not
+            # abort the CLI: report it, keep the collected results, and
+            # still emit JSON + manifest below.
+            elapsed = time.perf_counter() - started
+            entry = {"id": exp_id, "seconds": round(elapsed, 3),
+                     "error": f"{type(exc).__name__}: {exc}"}
+            ran.append(entry)
+            failures.append(entry)
+            status = status or 1
+            traceback.print_exc()
+            print(f"ERROR: {exp_id} failed after {elapsed:.1f}s: "
+                  f"{entry['error']}", file=sys.stderr)
+            continue
+        elapsed = time.perf_counter() - started
+        ran.append({"id": exp_id, "seconds": round(elapsed, 3),
+                    "error": None})
         collected.append(result)
         print(result.render())
-        print(f"({exp_id} completed in {time.time() - started:.1f}s)")
+        print(f"({exp_id} completed in {elapsed:.1f}s)")
         print()
     if args.json:
         import json
@@ -136,6 +170,26 @@ def main(argv=None) -> int:
     totals.merge(cache.STATS.snapshot())
     if prewarm is not None:
         totals.merge(prewarm.stats.snapshot())
+
+    if args.json:
+        manifest = obs.build_manifest(
+            "repro.experiments",
+            argv=argv if argv is not None else sys.argv[1:],
+            experiments=ran,
+            cache_stats=totals.snapshot(),
+            extra={"ids": ids, "scale": args.scale,
+                   "benchmarks": benchmarks, "jobs": args.jobs},
+        )
+        manifest_path = obs.manifest_path_for(args.json)
+        obs.write_manifest(manifest_path, manifest)
+        print(f"wrote manifest to {manifest_path}")
+    if trace_path:
+        n_events = obs.write_events(trace_path)
+        print(f"wrote {n_events} events to {trace_path}")
+
+    if failures:
+        print(f"{len(failures)} experiment(s) failed: "
+              + ", ".join(f["id"] for f in failures), file=sys.stderr)
     print(f"run summary: {totals.format_summary()}")
     return status
 

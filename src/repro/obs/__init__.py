@@ -1,0 +1,73 @@
+"""``repro.obs`` — run observability: span tracing, counters, manifests.
+
+The paper's methodology is measurement; this package applies the same
+discipline to the reproduction stack itself.  A process-wide
+:data:`TRACER` records hierarchical spans and counters from the
+instrumented layers (``vm.machine``/``vm.jit.compiler``,
+``analysis.cache``, ``analysis.parallel``, the experiments CLI and the
+bench harness) into a JSONL event stream, and every ``--json`` run
+writes a manifest alongside its output.
+
+Typical use::
+
+    from repro import obs
+
+    obs.TRACER.enable()
+    with obs.span("my.phase", workload="db"):
+        ...
+    obs.write_events("run.jsonl")
+
+Analysis::
+
+    python -m repro.obs summarize run.jsonl
+    python -m repro.obs diff run_a.jsonl run_b.jsonl
+    python -m repro.obs overhead --max-span-ns 4000
+
+Setting ``REPRO_OBS=<path>`` enables the tracer at import time; the
+experiments/bench CLIs write the event stream to that path on exit.
+The disabled tracer is a no-op whose cost is one attribute check
+(guarded by a bench test; see ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import os
+
+from .tracer import (  # noqa: F401 - public re-exports
+    Span,
+    TRACER,
+    Tracer,
+    measure_disabled_overhead,
+    traced,
+)
+
+#: Convenience alias: ``obs.span(...)`` == ``obs.TRACER.span(...)``.
+span = TRACER.span
+#: Convenience alias for counter bumps.
+count = TRACER.add
+
+
+def write_events(path: str) -> int:
+    """Write the tracer's buffered events to ``path`` as JSONL."""
+    return TRACER.write(path)
+
+
+def build_manifest(tool: str, argv=None, experiments=None,
+                   cache_stats=None, extra=None) -> dict:
+    from . import manifest
+    return manifest.build_manifest(tool, argv=argv, experiments=experiments,
+                                   cache_stats=cache_stats, extra=extra)
+
+
+def write_manifest(path: str, data: dict) -> str:
+    from . import manifest
+    return manifest.write_manifest(path, data)
+
+
+def manifest_path_for(output_path: str) -> str:
+    from . import manifest
+    return manifest.manifest_path_for(output_path)
+
+
+if os.environ.get("REPRO_OBS"):
+    TRACER.enable()

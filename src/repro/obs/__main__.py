@@ -1,0 +1,85 @@
+"""``python -m repro.obs`` — summarize/diff traced runs, overhead probe.
+
+Examples::
+
+    python -m repro.obs summarize run.jsonl --top 20
+    python -m repro.obs diff baseline.jsonl current.jsonl --fail-on-regress
+    python -m repro.obs overhead --max-span-ns 4000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Analyze repro.obs JSONL event streams.",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_sum = sub.add_parser(
+        "summarize", help="aggregate one run's spans into a profile table")
+    p_sum.add_argument("run", help="JSONL event stream")
+    p_sum.add_argument("--top", type=int, default=None, metavar="N",
+                       help="only the N largest spans by total time")
+
+    p_diff = sub.add_parser(
+        "diff", help="compare the span totals/counters of two runs")
+    p_diff.add_argument("run_a", help="baseline JSONL event stream")
+    p_diff.add_argument("run_b", help="candidate JSONL event stream")
+    p_diff.add_argument("--threshold", type=float, default=0.2,
+                        help="relative growth flagged as a regression "
+                             "(default 0.2)")
+    p_diff.add_argument("--fail-on-regress", action="store_true",
+                        help="exit nonzero when any span regresses")
+
+    p_ovh = sub.add_parser(
+        "overhead", help="measure the disabled tracer's per-call cost")
+    p_ovh.add_argument("--iters", type=int, default=200_000)
+    p_ovh.add_argument("--max-span-ns", type=float, default=None,
+                       metavar="NS",
+                       help="fail if a disabled span() call costs more")
+
+    args = parser.parse_args(argv)
+
+    if args.cmd == "summarize":
+        from . import summarize
+        print(summarize.profile_table(summarize.load(args.run),
+                                      top=args.top))
+        return 0
+
+    if args.cmd == "diff":
+        from . import summarize
+        table, regressions = summarize.diff_runs(
+            summarize.load(args.run_a), summarize.load(args.run_b),
+            threshold=args.threshold,
+        )
+        print(table)
+        for message in regressions:
+            print(f"REGRESSION: {message}", file=sys.stderr)
+        return 1 if (regressions and args.fail_on_regress) else 0
+
+    # overhead
+    from .tracer import TRACER, measure_disabled_overhead
+    was_enabled = TRACER.enabled
+    TRACER.disable()
+    try:
+        measured = measure_disabled_overhead(args.iters)
+    finally:
+        if was_enabled:  # pragma: no cover - probe is run tracer-off
+            TRACER.enable()
+    print(f"disabled guard check: {measured['check_ns']:7.1f} ns/op")
+    print(f"disabled span() call: {measured['span_ns']:7.1f} ns/op")
+    if args.max_span_ns is not None \
+            and measured["span_ns"] > args.max_span_ns:
+        print(f"FAIL: disabled span() costs {measured['span_ns']:.0f}ns, "
+              f"over the {args.max_span_ns:.0f}ns guard", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,145 @@
+"""Aggregate and diff ``repro.obs`` JSONL event streams.
+
+``summarize`` turns one run's spans into a profile table (count, total,
+mean, min/max, share of wall time); ``diff`` compares the span totals
+and counters of two runs and flags regressions — the
+regression-detection primitive the one-off ``BENCH_*.json`` side
+channels lacked.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from ..analysis.report import format_table
+
+
+def load(path: str) -> dict:
+    """Read a JSONL event stream into ``{"spans": [...], "counters": {}}``."""
+    spans: list[dict] = []
+    counters: dict[str, float] = {}
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            event = json.loads(line)
+            kind = event.get("ev")
+            if kind == "span":
+                spans.append(event)
+            elif kind == "counter":
+                name = event["name"]
+                counters[name] = counters.get(name, 0) + event["value"]
+    return {"spans": spans, "counters": counters}
+
+
+def aggregate(spans) -> dict:
+    """Per-name ``{count, total, min, max}`` over span events."""
+    agg: dict[str, dict] = {}
+    for event in spans:
+        entry = agg.setdefault(event["name"], {
+            "count": 0, "total": 0.0, "min": math.inf, "max": 0.0,
+        })
+        dur = event["dur"]
+        entry["count"] += 1
+        entry["total"] += dur
+        entry["min"] = min(entry["min"], dur)
+        entry["max"] = max(entry["max"], dur)
+    return agg
+
+
+def wall_seconds(spans) -> float:
+    """Wall-clock extent of the run (first span start to last span end)."""
+    if not spans:
+        return 0.0
+    start = min(e["ts"] for e in spans)
+    end = max(e["ts"] + e["dur"] for e in spans)
+    return max(end - start, 0.0)
+
+
+def profile_table(run: dict, top: int | None = None,
+                  title: str = "") -> str:
+    """Render one run's aggregated spans (and counters) as tables."""
+    spans = run["spans"]
+    agg = aggregate(spans)
+    wall = wall_seconds(spans)
+    rows = []
+    for name, entry in sorted(agg.items(), key=lambda kv: -kv[1]["total"]):
+        mean = entry["total"] / entry["count"]
+        rows.append([
+            name,
+            entry["count"],
+            round(entry["total"], 4),
+            round(1000 * mean, 3),
+            round(1000 * entry["min"], 3),
+            round(1000 * entry["max"], 3),
+            round(100 * entry["total"] / wall, 1) if wall else 0.0,
+        ])
+    if top:
+        rows = rows[:top]
+    out = format_table(
+        ["span", "count", "total s", "mean ms", "min ms", "max ms",
+         "% wall"],
+        rows,
+        title=title or f"{len(spans)} spans over {wall:.2f}s wall",
+    )
+    if run.get("counters"):
+        counter_rows = [[name, run["counters"][name]]
+                        for name in sorted(run["counters"])]
+        out += "\n\n" + format_table(["counter", "value"], counter_rows)
+    return out
+
+
+def diff_runs(run_a: dict, run_b: dict,
+              threshold: float = 0.2) -> tuple[str, list[str]]:
+    """Compare span totals of ``run_b`` against ``run_a``.
+
+    Returns the rendered diff tables plus a list of regression messages
+    (span totals that grew by more than ``threshold``, relative).
+    """
+    agg_a = aggregate(run_a["spans"])
+    agg_b = aggregate(run_b["spans"])
+    rows = []
+    regressions: list[str] = []
+    for name in sorted(set(agg_a) | set(agg_b)):
+        total_a = agg_a.get(name, {}).get("total", 0.0)
+        total_b = agg_b.get(name, {}).get("total", 0.0)
+        flag = ""
+        if total_a and total_b:
+            ratio = total_b / total_a
+            if ratio > 1.0 + threshold:
+                flag = "SLOWER"
+                regressions.append(
+                    f"{name}: {total_a:.4f}s -> {total_b:.4f}s "
+                    f"({ratio:.2f}x)"
+                )
+            elif ratio < 1.0 - threshold:
+                flag = "faster"
+            ratio_text = round(ratio, 2)
+        elif total_b:
+            flag, ratio_text = "NEW", "inf"
+        else:
+            flag, ratio_text = "GONE", 0.0
+        rows.append([name, round(total_a, 4), round(total_b, 4),
+                     round(total_b - total_a, 4), ratio_text, flag])
+    rows.sort(key=lambda r: -abs(r[3]))
+    out = format_table(
+        ["span", "a total s", "b total s", "delta s", "b/a", "flag"],
+        rows, title="span totals, run b vs run a",
+    )
+
+    counters_a = run_a.get("counters", {})
+    counters_b = run_b.get("counters", {})
+    counter_rows = [
+        [name, counters_a.get(name, 0), counters_b.get(name, 0),
+         counters_b.get(name, 0) - counters_a.get(name, 0)]
+        for name in sorted(set(counters_a) | set(counters_b))
+        if counters_a.get(name, 0) != counters_b.get(name, 0)
+    ]
+    if counter_rows:
+        out += "\n\n" + format_table(
+            ["counter", "a", "b", "delta"], counter_rows,
+            title="counters that changed",
+        )
+    return out, regressions

@@ -14,8 +14,11 @@ scheduler can interleave threads and so runaway programs are caught.
 
 from __future__ import annotations
 
+import time
+
 from ..isa.opcodes import ArrayType, Op, OPINFO
 from ..native.nisa import NCat
+from ..obs import TRACER
 from . import values
 from .interp_templates import MAX_INVOKE_ARGS, shared_templates
 from .objects import JArray, JObject, JString
@@ -50,6 +53,11 @@ class Interpreter:
     # ------------------------------------------------------------------
     def step(self, thread: JThread, budget: int) -> int:
         """Run up to ``budget`` bytecodes; returns the number executed."""
+        if TRACER.enabled:
+            # The traced variant buckets per-handler wall time by emit
+            # mode; keeping it out of line leaves this hot loop with
+            # exactly one extra attribute check when tracing is off.
+            return self._step_traced(thread, budget)
         executed = 0
         vm = self.vm
         profiler = vm.profiler
@@ -64,6 +72,48 @@ class Interpreter:
             cycles_before = sink.cycles
             overhead_before = vm.overhead_cycles
             handlers[instr.op](thread, frame, instr)
+            executed += 1
+            if profiler is not None:
+                delta = (sink.cycles - cycles_before) - (
+                    vm.overhead_cycles - overhead_before
+                )
+                profiler.charge(frame, delta)
+        thread.bytecodes_executed += executed
+        if not thread.frames and thread.state == RUNNABLE:
+            vm.finish_thread(thread)
+        return executed
+
+    def _step_traced(self, thread: JThread, budget: int) -> int:
+        """The stepper with per-emit-mode dispatch timing (tracer on).
+
+        Accumulates each handler's wall time into the VM's
+        ``dispatch_seconds``/``dispatch_counts`` buckets, keyed by the
+        current frame's emit mode; ``JavaVM.run`` emits the aggregates
+        as the ``vm.interp.dispatch`` / ``vm.jit.execute`` spans.
+        Nested JIT translation happens inside an invoke handler, so its
+        wall time also appears separately as ``vm.jit.translate``.
+        """
+        executed = 0
+        vm = self.vm
+        profiler = vm.profiler
+        sink = self.sink
+        handlers = self._handlers
+        opcode_counts = vm.opcode_counts
+        dispatch_seconds = vm.dispatch_seconds
+        dispatch_counts = vm.dispatch_counts
+        clock = time.perf_counter
+        while executed < budget and thread.state == RUNNABLE and thread.frames:
+            frame = thread.frames[-1]
+            instr = frame.code[frame.ip]
+            frame.ip += 1
+            opcode_counts[instr.op] += 1
+            cycles_before = sink.cycles
+            overhead_before = vm.overhead_cycles
+            mode = frame.emit_mode
+            started = clock()
+            handlers[instr.op](thread, frame, instr)
+            dispatch_seconds[mode] += clock() - started
+            dispatch_counts[mode] += 1
             executed += 1
             if profiler is not None:
                 delta = (sink.cycles - cycles_before) - (

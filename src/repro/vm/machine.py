@@ -13,6 +13,7 @@ from __future__ import annotations
 from ..isa.method import Method, Program
 from ..native.layout import WORD_BYTES
 from ..native.trace import CountingSink, RecordingSink, Trace
+from ..obs import TRACER
 from ..sync.monitor_cache import MonitorCacheLockManager
 from .classloader import ClassLoader
 from .heap import Heap
@@ -28,6 +29,7 @@ from .threads import (
     BLOCKED,
     EMIT_COMPILED,
     EMIT_INTERP,
+    EMIT_NONE,
     FINISHED,
     JThread,
     RUNNABLE,
@@ -147,6 +149,11 @@ class JavaVM:
         self.opcode_counts = _np.zeros(_N_OPS, dtype=_np.int64)
         self.threads: list[JThread] = []
         self.stdout: list[str] = []
+        # Per-emit-mode dispatch wall time / bytecode counts, filled by
+        # the traced stepper (observability only; empty when tracing is
+        # off).  Indexed by EMIT_NONE / EMIT_INTERP / EMIT_COMPILED.
+        self.dispatch_seconds = [0.0, 0.0, 0.0]
+        self.dispatch_counts = [0, 0, 0]
         self._interned: dict[str, JString] = {}
         self._compiled: dict[int, object] = {}   # method_id -> CompiledMethod
         self._translate_overhead = 0
@@ -215,7 +222,35 @@ class JavaVM:
         frame.return_pc = self.templates.dispatch_pc
 
     def run(self, max_bytecodes: int | None = None) -> VMResult:
-        """Execute to completion and return the results."""
+        """Execute to completion and return the results.
+
+        With the tracer on, the run is wrapped in a ``vm.run`` span and
+        the stepper's per-emit-mode wall times are emitted as the
+        ``vm.interp.dispatch`` / ``vm.jit.execute`` phase spans
+        (``vm.jit.translate`` spans come from the compiler), mirroring
+        the paper's Figure 1 translate-vs-execute split.
+        """
+        if not TRACER.enabled:
+            return self._run(max_bytecodes)
+        with TRACER.span("vm.run", program=self.program.name,
+                         strategy=self.strategy.name) as sp:
+            result = self._run(max_bytecodes)
+            seconds, counts = self.dispatch_seconds, self.dispatch_counts
+            TRACER.emit("vm.interp.dispatch", seconds[EMIT_INTERP],
+                        bytecodes=counts[EMIT_INTERP])
+            TRACER.emit("vm.jit.execute",
+                        seconds[EMIT_COMPILED] + seconds[EMIT_NONE],
+                        bytecodes=counts[EMIT_COMPILED] + counts[EMIT_NONE])
+            sp.attrs.update(
+                cycles=result.cycles,
+                translate_cycles=result.translate_cycles,
+                execute_cycles=result.execute_cycles,
+                bytecodes=result.bytecodes_executed,
+                methods_compiled=result.methods_compiled,
+            )
+        return result
+
+    def _run(self, max_bytecodes: int | None = None) -> VMResult:
         self.boot()
         budget = max_bytecodes or self.max_bytecodes
         executed_total = 0
