@@ -16,12 +16,18 @@ simply never addressed again (and can be pruned with ``prune``).
 
 Concurrent workers share one cache directory safely: writes go to a
 temp file in the same directory followed by an atomic ``os.replace``,
-serialized per-entry by an ``flock``-based file lock.  Corrupt or
-truncated archives are detected on load, removed, and recomputed rather
-than crashing the run.
+serialized per-entry by a pid-file lock that detects and breaks locks
+abandoned by dead processes (owner pid + liveness probe).  Every store
+records a content-digest sidecar (``<entry>.sha256``) verified on
+load; corrupt or truncated archives — parse failures *or* digest
+mismatches — are moved to ``quarantine/`` and recomputed rather than
+crashing the run.
 
 All lookups/stores update a module-level :class:`CacheStats` so the CLI
-can report hit/miss/latency counters in the run summary.
+can report hit/miss/latency counters in the run summary.  Hook sites
+for :mod:`repro.faults` (guarded by ``faults.ACTIVE``) let a seeded
+fault plan corrupt stores, plant stale locks, and slow IO so the
+recovery paths above stay exercised in CI.
 """
 
 from __future__ import annotations
@@ -37,13 +43,9 @@ import zipfile
 
 import numpy as np
 
+from .. import faults
 from ..native.trace import Trace
 from ..obs import TRACER
-
-try:  # pragma: no cover - fcntl exists on every POSIX we target
-    import fcntl
-except ImportError:  # pragma: no cover - Windows fallback: no inter-lock
-    fcntl = None
 
 #: Package-relative sources whose content feeds the cache key.  A file
 #: entry names one module; a directory entry covers every ``.py`` below.
@@ -56,8 +58,13 @@ TRACE_AFFECTING = (
     os.path.join("analysis", "runner.py"),
 )
 
+class CorruptEntry(Exception):
+    """Archive bytes fail their recorded content digest."""
+
+
 #: Errors that mean "archive unreadable", never "bug": recompute instead.
 _CORRUPT_ERRORS = (
+    CorruptEntry,
     zipfile.BadZipFile,
     pickle.UnpicklingError,
     EOFError,
@@ -156,7 +163,7 @@ def cache_key(kind: str, *, root: str | None = None, **fields) -> str:
 
 _STAT_FIELDS = (
     "trace_hits", "trace_misses", "run_hits", "run_misses",
-    "corrupt", "stores",
+    "corrupt", "stores", "quarantined", "locks_broken",
 )
 _TIME_FIELDS = ("lookup_seconds", "store_seconds")
 
@@ -227,38 +234,126 @@ def reset_stats() -> None:
 
 # -- file locking and atomic writes ------------------------------------
 
-class FileLock:
-    """``flock``-based advisory lock guarding one cache entry.
+#: Waiters poll with capped exponential backoff.
+LOCK_POLL_SECONDS = 0.002
+LOCK_POLL_CAP = 0.05
+#: Grace before an *unreadable* lock file (owner mid-write) is stale.
+LOCK_UNREADABLE_GRACE = 1.0
 
-    Lock files live next to the entry (``<path>.lock``) so concurrent
-    workers targeting the same key serialize their writes while writers
-    of other entries proceed in parallel.
+
+def default_lock_timeout() -> float:
+    """Max seconds to wait on a lock held by a live owner before
+    breaking it anyway (``REPRO_LOCK_TIMEOUT`` overrides)."""
+    try:
+        return float(os.environ.get("REPRO_LOCK_TIMEOUT", "") or 10.0)
+    except ValueError:  # pragma: no cover - bad env value
+        return 10.0
+
+
+def _pid_alive(pid: int) -> bool:
+    """Liveness probe: can ``pid`` receive signals?"""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:  # EPERM and friends: exists, not ours
+        return True
+    return True
+
+
+class FileLock:
+    """Pid-file advisory lock guarding one cache entry.
+
+    The lock is the *existence* of ``<path>.lock`` holding the owner's
+    pid.  A ``flock`` would evaporate with its owner, but it also cannot
+    be probed, reported on, or (in the pathological cases fault plans
+    simulate) left behind; a pid file makes the failure mode explicit
+    and recoverable: waiters probe the recorded owner for liveness and
+    break locks whose owner is dead.  A live owner is waited on for at
+    most ``timeout`` seconds, after which the lock is broken anyway —
+    entry writes are atomic replaces, so losing exclusion costs at worst
+    a duplicated store, never a torn archive.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, timeout: float | None = None) -> None:
         self.lock_path = path + ".lock"
-        self._fd: int | None = None
+        self.timeout = default_lock_timeout() if timeout is None else timeout
+        self._held = False
 
     def __enter__(self) -> "FileLock":
+        if faults.ACTIVE is not None:
+            faults.ACTIVE.on_lock_acquire(self.lock_path)
         os.makedirs(os.path.dirname(self.lock_path) or ".", exist_ok=True)
-        self._fd = os.open(self.lock_path, os.O_CREAT | os.O_RDWR, 0o644)
-        if fcntl is not None:
-            if TRACER.enabled:
-                started = time.perf_counter()
-                fcntl.flock(self._fd, fcntl.LOCK_EX)
-                TRACER.emit("cache.lock_wait",
-                            time.perf_counter() - started,
-                            entry=os.path.basename(self.lock_path))
-            else:
-                fcntl.flock(self._fd, fcntl.LOCK_EX)
+        started = time.perf_counter()
+        deadline = started + self.timeout
+        pause = LOCK_POLL_SECONDS
+        while True:
+            try:
+                fd = os.open(self.lock_path,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+            except FileExistsError:
+                if self._break_if_stale(deadline):
+                    continue
+                time.sleep(pause)
+                pause = min(pause * 2, LOCK_POLL_CAP)
+                continue
+            with os.fdopen(fd, "w") as fh:
+                fh.write(str(os.getpid()))
+            self._held = True
+            break
+        if TRACER.enabled:
+            TRACER.emit("cache.lock_wait", time.perf_counter() - started,
+                        entry=os.path.basename(self.lock_path))
         return self
 
     def __exit__(self, *exc) -> None:
-        if self._fd is not None:
-            if fcntl is not None:
-                fcntl.flock(self._fd, fcntl.LOCK_UN)
-            os.close(self._fd)
-            self._fd = None
+        if self._held:
+            self._held = False
+            try:
+                os.remove(self.lock_path)
+            except OSError:  # pragma: no cover - broken by a waiter
+                pass
+
+    # -- stale detection ----------------------------------------------
+    def _owner_pid(self) -> int | None:
+        try:
+            with open(self.lock_path) as fh:
+                return int(fh.read().strip() or "0") or None
+        except (OSError, ValueError):
+            return None
+
+    def _age(self) -> float:
+        try:
+            return max(0.0, time.time() - os.stat(self.lock_path).st_mtime)
+        except OSError:
+            return float("inf")
+
+    def _break_if_stale(self, deadline: float) -> bool:
+        """Break the competing lock if its owner is dead (liveness
+        probe), unreadable past its grace, or the wait deadline passed;
+        returns True when broken."""
+        owner = self._owner_pid()
+        if owner is not None and _pid_alive(owner):
+            if time.perf_counter() < deadline:
+                return False
+            kind, reason = "lock_break_forced", "timeout"
+        elif owner is None:
+            if (self._age() < LOCK_UNREADABLE_GRACE
+                    and time.perf_counter() < deadline):
+                return False
+            kind, reason = "lock_break", "unreadable"
+        else:
+            kind, reason = "lock_break", "dead-owner"
+        try:
+            os.remove(self.lock_path)
+        except OSError:
+            return False  # released or broken by someone else first
+        STATS.count("locks_broken")
+        faults.note_recovery(kind, reason=reason,
+                             entry=os.path.basename(self.lock_path))
+        return True
 
 
 #: Monotonic suffix making temp names unique *within* a process too: a
@@ -288,13 +383,67 @@ def _atomic_write(path: str, data: bytes) -> None:
                 pass
 
 
-def _discard(path: str) -> None:
-    """Remove a corrupt archive so the recomputed one replaces it."""
+def _digest_path(path: str) -> str:
+    return path + ".sha256"
+
+
+def _read_verified(path: str) -> bytes:
+    """Archive bytes, checked against the stored content digest.
+
+    Raises ``FileNotFoundError`` on absence and :class:`CorruptEntry`
+    on a digest mismatch; entries predating digests (no sidecar) pass
+    unverified, as parse errors still catch gross corruption.
+    """
+    with open(path, "rb") as fh:
+        data = fh.read()
+    try:
+        with open(_digest_path(path)) as fh:
+            expect = fh.read().strip()
+    except OSError:
+        return data
+    if expect and hashlib.sha256(data).hexdigest() != expect:
+        raise CorruptEntry(os.path.basename(path))
+    return data
+
+
+def _store_bytes(path: str, data: bytes) -> None:
+    """Store archive bytes plus their content-digest sidecar under the
+    entry lock.  The digest is computed *before* the fault layer can
+    mutate the payload, so injected corruption is always detectable on
+    the next load."""
+    digest = hashlib.sha256(data).hexdigest()
+    if faults.ACTIVE is not None:
+        faults.ACTIVE.on_io("store")
+        data = faults.ACTIVE.corrupt_store(path, data)
+    with FileLock(path):
+        _atomic_write(path, data)
+        _atomic_write(_digest_path(path), digest.encode())
+
+
+def _quarantine(path: str) -> None:
+    """Move a corrupt archive (and drop its sidecar) into the cache's
+    ``quarantine/`` directory: the recomputed entry replaces it while
+    the bad bytes stay available for diagnosis."""
+    qdir = os.path.join(os.path.dirname(os.path.dirname(path)),
+                        "quarantine")
+    moved = False
     with FileLock(path):
         try:
-            os.remove(path)
+            os.makedirs(qdir, exist_ok=True)
+            os.replace(path, os.path.join(qdir, os.path.basename(path)))
+            moved = True
+        except OSError:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        try:
+            os.remove(_digest_path(path))
         except OSError:
             pass
+    if moved:
+        STATS.count("quarantined")
+        faults.note_recovery("quarantine", entry=os.path.basename(path))
 
 
 # -- entry paths -------------------------------------------------------
@@ -322,10 +471,13 @@ def load_trace(path: str) -> Trace | None:
 
     Counts a hit, a miss, or a corrupt-recompute in :data:`STATS`.
     """
+    if faults.ACTIVE is not None:
+        faults.ACTIVE.on_io("load")
     started = time.perf_counter()
     trace = None
     outcome = "hit"
     try:
+        _read_verified(path)
         trace = Trace.load(path)
     except FileNotFoundError:
         outcome = "miss"
@@ -334,7 +486,7 @@ def load_trace(path: str) -> Trace | None:
         outcome = "corrupt"
         STATS.count("corrupt")
         STATS.count("trace_misses")
-        _discard(path)
+        _quarantine(path)
     else:
         STATS.count("trace_hits")
     elapsed = time.perf_counter() - started
@@ -351,8 +503,7 @@ def store_trace(path: str, trace: Trace) -> None:
     # Trace.save's ``.npy`` format, staged through memory so the write
     # is atomic.
     np.save(buf, trace.to_records(), allow_pickle=False)
-    with FileLock(path):
-        _atomic_write(path, buf.getvalue())
+    _store_bytes(path, buf.getvalue())
     STATS.count("stores")
     elapsed = time.perf_counter() - started
     STATS.time("store_seconds", elapsed)
@@ -364,12 +515,13 @@ def store_trace(path: str, trace: Trace) -> None:
 
 def load_run(path: str):
     """Load a cached ``VMResult``; ``None`` on absence or corruption."""
+    if faults.ACTIVE is not None:
+        faults.ACTIVE.on_io("load")
     started = time.perf_counter()
     result = None
     outcome = "hit"
     try:
-        with open(path, "rb") as fh:
-            result = pickle.load(fh)
+        result = pickle.loads(_read_verified(path))
     except FileNotFoundError:
         outcome = "miss"
         STATS.count("run_misses")
@@ -377,7 +529,7 @@ def load_run(path: str):
         outcome = "corrupt"
         STATS.count("corrupt")
         STATS.count("run_misses")
-        _discard(path)
+        _quarantine(path)
     else:
         STATS.count("run_hits")
     elapsed = time.perf_counter() - started
@@ -391,8 +543,7 @@ def load_run(path: str):
 def store_run(path: str, result) -> None:
     started = time.perf_counter()
     blob = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
-    with FileLock(path):
-        _atomic_write(path, blob)
+    _store_bytes(path, blob)
     STATS.count("stores")
     elapsed = time.perf_counter() - started
     STATS.time("store_seconds", elapsed)
@@ -401,7 +552,8 @@ def store_run(path: str, result) -> None:
 
 
 def prune(cache_dir: str | None = None) -> int:
-    """Housekeeping: delete stale lock files and temp droppings.
+    """Housekeeping: delete stale lock files, temp droppings, and
+    quarantined corpses.
 
     Content addressing means superseded archives are never served, so
     pruning is purely about disk space; returns the number removed.
@@ -421,4 +573,12 @@ def prune(cache_dir: str | None = None) -> int:
                     removed += 1
                 except OSError:
                     pass
+    qdir = os.path.join(cache_dir, "quarantine")
+    if os.path.isdir(qdir):
+        for name in os.listdir(qdir):
+            try:
+                os.remove(os.path.join(qdir, name))
+                removed += 1
+            except OSError:
+                pass
     return removed

@@ -9,6 +9,12 @@ lists of the selected experiments are deduplicated and fanned out over
 the rendering pass then runs serially against a warm cache, so parallel
 output is identical to a serial run.  Every invocation ends with the
 cache hit/miss/latency summary.
+
+``--faults`` (or ``$REPRO_FAULTS``) activates the deterministic
+fault-injection layer (:mod:`repro.faults`); the hardened scheduler and
+cache recover via retries, pool replacement, lock breaking, and
+quarantine, so a faulted run still exits 0 with byte-identical JSON —
+the run manifest records what was injected and recovered.
 """
 
 from __future__ import annotations
@@ -19,9 +25,9 @@ import sys
 import time
 import traceback
 
-from .. import obs
+from .. import faults, obs
 from ..analysis import cache
-from ..analysis.parallel import run_jobs
+from ..analysis.parallel import RetryPolicy, run_jobs
 from .base import all_experiments, collect_jobs, get_experiment
 
 #: Order used by ``all``: cheap scalar experiments first.
@@ -41,6 +47,8 @@ def _progress(i: int, total: int, outcome: dict) -> None:
     stats = outcome["stats"]
     computed = (stats.get("trace_misses", 0) + stats.get("run_misses", 0)) > 0
     note = "computed" if computed else "cached"
+    if outcome.get("recovery"):
+        note += f" (recovered: {outcome['recovery']})"
     if outcome["error"]:
         note = f"ERROR {outcome['error']}"
     print(f"[{i:3d}/{total}] {job.describe():44s} "
@@ -77,7 +85,30 @@ def main(argv=None) -> int:
     parser.add_argument("--trace", default=None, metavar="FILE",
                         help="record span/counter events and write them "
                              "as JSONL (also enabled by $REPRO_OBS)")
+    parser.add_argument("--faults", default=None, metavar="PLAN",
+                        help="activate a seeded fault-injection plan, "
+                             "e.g. 'worker-kill@1;seed=7' (also read "
+                             "from $REPRO_FAULTS; see docs/robustness.md)")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock timeout per pre-warm job; a "
+                             "stuck worker is replaced and the job "
+                             "retried (default: $REPRO_JOB_TIMEOUT "
+                             "or none)")
     args = parser.parse_args(argv)
+
+    if args.faults:
+        try:
+            # Export so spawned pool workers inherit the same plan.
+            os.environ[faults.ENV_VAR] = args.faults
+            faults.activate(args.faults)
+        except faults.PlanError as exc:
+            print(f"bad --faults plan: {exc}", file=sys.stderr)
+            return 2
+    else:
+        # Re-read the env var each invocation: main() may be called
+        # repeatedly in-process (tests), and budgets must be fresh.
+        faults.activate_from_env()
 
     trace_path = args.trace or os.environ.get("REPRO_OBS") or None
     if trace_path:
@@ -100,6 +131,7 @@ def main(argv=None) -> int:
 
     benchmarks = args.benchmarks.split(",") if args.benchmarks else None
     cache.reset_stats()
+    faults.LEDGER.reset()  # manifest reports this invocation only
     # Each CLI invocation should hit the on-disk cache afresh so the
     # run summary reflects this run, not a previous in-process one.
     from ..analysis.replay import clear_replay_memo
@@ -112,16 +144,27 @@ def main(argv=None) -> int:
         jobs = collect_jobs(known_ids, scale=args.scale,
                             benchmarks=benchmarks)
         if jobs:
+            policy = RetryPolicy.from_env()
+            if args.job_timeout is not None:
+                import dataclasses
+                policy = dataclasses.replace(
+                    policy, job_timeout=args.job_timeout or None)
             print(f"pre-warming cache: {len(jobs)} jobs on "
                   f"{args.jobs} workers")
             prewarm = run_jobs(jobs, max_workers=args.jobs,
                                cache_dir=args.cache_dir,
-                               progress=_progress)
+                               progress=_progress, policy=policy)
             print(f"pre-warm: {prewarm.format_summary()}")
             print()
             for outcome in prewarm.errors:
                 print(f"pre-warm error in {outcome['job'].describe()}: "
                       f"{outcome['error']}", file=sys.stderr)
+            if prewarm.errors:
+                # Retries, pool replacement, and the serial fallback
+                # have all been exhausted for these jobs; the rendering
+                # pass below may still succeed (it recomputes inline),
+                # but the run must report the infrastructure failure.
+                status = status or 1
 
     collected = []
     ran = []          # per-experiment manifest entries, in run order
@@ -178,7 +221,14 @@ def main(argv=None) -> int:
             experiments=ran,
             cache_stats=totals.snapshot(),
             extra={"ids": ids, "scale": args.scale,
-                   "benchmarks": benchmarks, "jobs": args.jobs},
+                   "benchmarks": benchmarks, "jobs": args.jobs,
+                   "prewarm": None if prewarm is None else {
+                       "jobs": len(prewarm.outcomes),
+                       "errors": len(prewarm.errors),
+                       "retries": prewarm.retries,
+                       "pool_replacements": prewarm.pool_replacements,
+                       "serial_recoveries": prewarm.serial_recoveries,
+                   }},
         )
         manifest_path = obs.manifest_path_for(args.json)
         obs.write_manifest(manifest_path, manifest)

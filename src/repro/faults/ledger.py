@@ -1,0 +1,100 @@
+"""Fault bookkeeping shared by the injection layer and the hardened
+runtime paths.
+
+The ledger always counts — an abandoned lock broken in production is a
+recovery whether or not a fault plan planted it — so the per-run
+manifest can report every injected, observed, and recovered fault.
+Workers snapshot/diff their ledger into the job outcome (mirroring
+:class:`~repro.analysis.cache.CacheStats`) and the scheduler absorbs
+the delta at join, so cross-process injections are visible to the
+parent's manifest.
+
+Categories:
+
+- ``injected`` — faults the active plan deliberately caused
+  (``worker-kill``, ``corrupt-archive``, ``stale-lock``, ``slow-io``…).
+- ``observed`` — failures the runtime noticed, injected or not
+  (``worker_crash``, ``job_timeout``, ``job_error``).
+- ``recovered`` — successful recovery actions (``retry``,
+  ``pool_replace``, ``serial``, ``lock_break``, ``quarantine``).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..obs import TRACER
+
+CATEGORIES = ("injected", "observed", "recovered")
+
+
+class FaultLedger:
+    """Thread-safe per-process fault counters, mirrored to the tracer."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.reset()
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts: dict[str, dict[str, int]] = {
+                c: {} for c in CATEGORIES
+            }
+
+    def note(self, category: str, kind: str, **attrs) -> None:
+        """Count one fault event; also emitted as an obs counter/event
+        when tracing is on."""
+        if category not in CATEGORIES:
+            raise ValueError(f"unknown fault category {category!r}")
+        with self._lock:
+            bucket = self._counts[category]
+            bucket[kind] = bucket.get(kind, 0) + 1
+        if TRACER.enabled:
+            TRACER.add(f"faults.{category}.{kind}")
+            TRACER.emit(f"fault.{category}", 0.0, kind=kind, **attrs)
+
+    # -- queries -------------------------------------------------------
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {c: dict(self._counts[c]) for c in CATEGORIES}
+
+    def count(self, category: str, kind: str) -> int:
+        with self._lock:
+            return self._counts[category].get(kind, 0)
+
+    def total(self, category: str) -> int:
+        with self._lock:
+            return sum(self._counts[category].values())
+
+    # -- cross-process merge ------------------------------------------
+    @staticmethod
+    def diff(after: dict, before: dict) -> dict:
+        """Nested positive delta between two snapshots (empty categories
+        dropped, so a no-fault outcome ships nothing)."""
+        out: dict = {}
+        for category in CATEGORIES:
+            deltas = {}
+            prior = before.get(category, {})
+            for kind, value in after.get(category, {}).items():
+                d = value - prior.get(kind, 0)
+                if d:
+                    deltas[kind] = d
+            if deltas:
+                out[category] = deltas
+        return out
+
+    def absorb(self, delta: dict) -> None:
+        """Merge a worker's shipped delta into this process's ledger."""
+        if not delta:
+            return
+        with self._lock:
+            for category, kinds in delta.items():
+                if category not in self._counts:
+                    continue
+                bucket = self._counts[category]
+                for kind, value in kinds.items():
+                    bucket[kind] = bucket.get(kind, 0) + value
+
+
+#: Process-wide ledger; workers ship deltas back to the parent.
+LEDGER = FaultLedger()

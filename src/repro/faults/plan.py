@@ -1,0 +1,288 @@
+"""Deterministic, seeded fault plans and their runtime state.
+
+A *plan* is a semicolon-separated list of fault specs::
+
+    worker-kill@2;corrupt-archive:times=2;seed=7
+
+Each spec is ``kind[@at][:key=val,...]``:
+
+- ``worker-kill`` / ``worker-hang`` / ``worker-raise`` — routed by the
+  scheduler to the job at 1-based index ``at`` in the deduplicated job
+  list (seeded pick when ``at`` is omitted) and applied in the worker
+  on the job's first attempt: ``worker-kill`` calls ``os._exit``
+  (``code=``, default 86), ``worker-hang`` sleeps (``seconds=``,
+  default 30) before proceeding, ``worker-raise`` raises
+  :class:`FaultInjected` outside the job's error handling — the same
+  unhandled-executor path a real worker bug takes.
+- ``corrupt-archive`` — mutates the bytes of the Nth cache store in a
+  process (``mode=truncate|garble``, default truncate) *after* the
+  content digest is computed, so verification on load must catch it.
+- ``stale-lock`` — plants a lock file owned by a genuinely dead pid
+  just before a lock acquisition, exercising the liveness-probe
+  breaking path.
+- ``slow-io`` — sleeps ``ms=`` (default 25) on cache load/store.
+- ``noop`` — injects nothing; used by the bench guard to count hook
+  crossings.
+
+``times=N`` bounds how often a spec fires (default once) — worker
+faults are budgeted by the parent scheduler, in-process faults per
+process.  ``seed=N`` makes the un-pinned worker-fault target selection
+deterministic.  Every injection is recorded in the
+:data:`~repro.faults.ledger.LEDGER` (and as obs counters when tracing).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass
+
+from .ledger import LEDGER
+
+KINDS = (
+    "worker-kill",
+    "worker-hang",
+    "worker-raise",
+    "corrupt-archive",
+    "stale-lock",
+    "slow-io",
+    "noop",
+)
+
+#: Kinds the scheduler routes to a worker via a per-job directive.
+WORKER_KINDS = ("worker-kill", "worker-hang", "worker-raise")
+
+
+class PlanError(ValueError):
+    """A fault-plan string that does not parse."""
+
+
+class FaultInjected(RuntimeError):
+    """The exception a ``worker-raise`` fault throws inside a worker."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault in a plan: what to inject, where, and how often."""
+
+    kind: str
+    at: int | None = None
+    times: int = 1
+    params: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise PlanError(f"unknown fault kind {self.kind!r}; "
+                            f"known: {', '.join(KINDS)}")
+        if self.at is not None and self.at < 1:
+            raise PlanError(f"fault target must be >= 1, got {self.at}")
+        if self.times < 1:
+            raise PlanError(f"times must be >= 1, got {self.times}")
+
+    def param(self, key: str, default=None):
+        return dict(self.params).get(key, default)
+
+    def describe(self) -> str:
+        text = self.kind
+        if self.at is not None:
+            text += f"@{self.at}"
+        extras = list(self.params)
+        if self.times != 1:
+            extras.append(("times", str(self.times)))
+        if extras:
+            text += ":" + ",".join(f"{k}={v}" for k, v in sorted(extras))
+        return text
+
+
+def _parse_spec(text: str) -> FaultSpec:
+    head, _, tail = text.partition(":")
+    kind, _, at_text = head.partition("@")
+    kind = kind.strip()
+    at = None
+    times = 1
+    params = {}
+    try:
+        if at_text.strip():
+            at = int(at_text)
+        if tail:
+            for item in tail.split(","):
+                key, sep, value = item.partition("=")
+                if not sep:
+                    raise PlanError(f"malformed fault option {item!r} "
+                                    f"in {text!r}")
+                key, value = key.strip(), value.strip()
+                if key == "times":
+                    times = int(value)
+                elif key == "at":
+                    at = int(value)
+                else:
+                    params[key] = value
+    except ValueError as exc:
+        raise PlanError(f"bad fault spec {text!r}: {exc}") from None
+    return FaultSpec(kind, at, times, tuple(sorted(params.items())))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A parsed, immutable fault plan (specs + selection seed)."""
+
+    specs: tuple
+    seed: int = 0
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        specs = []
+        seed = 0
+        for token in str(text).split(";"):
+            token = token.strip()
+            if not token:
+                continue
+            if token.startswith("seed="):
+                try:
+                    seed = int(token[5:])
+                except ValueError:
+                    raise PlanError(f"bad seed in {token!r}") from None
+                continue
+            specs.append(_parse_spec(token))
+        if not specs:
+            raise PlanError(f"fault plan {text!r} declares no faults")
+        return cls(tuple(specs), seed)
+
+    def describe(self) -> str:
+        parts = [spec.describe() for spec in self.specs]
+        if self.seed:
+            parts.append(f"seed={self.seed}")
+        return ";".join(parts)
+
+
+def _seeded_index(seed: int, kind: str, n: int) -> int:
+    """Deterministic 1-based index for an un-pinned worker fault."""
+    digest = hashlib.sha256(f"{seed}:{kind}".encode()).hexdigest()
+    return int(digest, 16) % n + 1
+
+
+class ActivePlan:
+    """Per-process runtime state for one activated plan.
+
+    Holds the remaining injection budget of each spec plus ``checks``,
+    the number of hook crossings — what the disabled-layer bench guard
+    prices at the ``if faults.ACTIVE is not None`` cost.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.checks = 0
+        self._lock = threading.Lock()
+        self._remaining = {i: spec.times
+                           for i, spec in enumerate(plan.specs)}
+
+    def _take(self, spec_index: int) -> bool:
+        with self._lock:
+            if self._remaining.get(spec_index, 0) <= 0:
+                return False
+            self._remaining[spec_index] -= 1
+            return True
+
+    # -- parent-side worker-fault routing ------------------------------
+    def worker_targets(self, n_jobs: int) -> dict[int, int]:
+        """Map of 0-based job index -> spec index for worker faults."""
+        targets: dict[int, int] = {}
+        if n_jobs <= 0:
+            return targets
+        for i, spec in enumerate(self.plan.specs):
+            if spec.kind not in WORKER_KINDS:
+                continue
+            at = spec.at or _seeded_index(self.plan.seed, spec.kind, n_jobs)
+            targets[(at - 1) % n_jobs] = i
+        return targets
+
+    def take_worker_fault(self, spec_index: int) -> tuple | None:
+        """Consume one firing of a worker-fault spec; the returned
+        ``(kind, params)`` directive travels to the worker with the job."""
+        spec = self.plan.specs[spec_index]
+        if not self._take(spec_index):
+            return None
+        LEDGER.note("injected", spec.kind, via="scheduler")
+        return (spec.kind, dict(spec.params))
+
+    # -- in-process hooks (cache layer) --------------------------------
+    def on_io(self, op: str) -> None:
+        """Cache load/store hook: slow-IO injection point."""
+        self.checks += 1
+        for i, spec in enumerate(self.plan.specs):
+            if spec.kind != "slow-io" or not self._take(i):
+                continue
+            delay = float(spec.param("ms", 25)) / 1000.0
+            LEDGER.note("injected", "slow-io", op=op, seconds=delay)
+            time.sleep(delay)
+
+    def on_lock_acquire(self, lock_path: str) -> None:
+        """Lock hook: plants a stale lock owned by a dead pid."""
+        self.checks += 1
+        for i, spec in enumerate(self.plan.specs):
+            if spec.kind != "stale-lock" or os.path.exists(lock_path):
+                continue
+            if not self._take(i):
+                continue
+            _plant_stale_lock(lock_path)
+            LEDGER.note("injected", "stale-lock",
+                        entry=os.path.basename(lock_path))
+
+    def corrupt_store(self, path: str, data: bytes) -> bytes:
+        """Store hook: returns (possibly corrupted) archive bytes."""
+        self.checks += 1
+        for i, spec in enumerate(self.plan.specs):
+            if spec.kind != "corrupt-archive" or not self._take(i):
+                continue
+            mode = spec.param("mode", "truncate")
+            LEDGER.note("injected", "corrupt-archive", mode=mode,
+                        entry=os.path.basename(path))
+            return _corrupt_bytes(data, mode)
+        return data
+
+
+def _corrupt_bytes(data: bytes, mode: str) -> bytes:
+    if mode == "garble":
+        blob = bytearray(data)
+        start = len(blob) // 3
+        for i in range(start, min(start + 64, len(blob))):
+            blob[i] ^= 0xA5
+        return bytes(blob)
+    # truncate: what a crash mid-write would have left behind
+    return data[: max(1, len(data) // 3)]
+
+
+def _dead_pid() -> int:
+    """A pid that is guaranteed dead: a child we spawn and reap."""
+    proc = subprocess.Popen([sys.executable, "-c", ""],
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+    proc.wait()
+    return proc.pid
+
+
+def _plant_stale_lock(lock_path: str) -> None:
+    os.makedirs(os.path.dirname(lock_path) or ".", exist_ok=True)
+    try:
+        fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+    except FileExistsError:  # pragma: no cover - raced a real owner
+        return
+    with os.fdopen(fd, "w") as fh:
+        fh.write(str(_dead_pid()))
+
+
+def apply_worker_fault(fault: tuple) -> None:
+    """Enact a worker-fault directive inside the worker process."""
+    kind, params = fault
+    if kind == "worker-kill":
+        # A hard crash: no cleanup, no exception, no outcome shipped.
+        os._exit(int(params.get("code", 86)))
+    if kind == "worker-hang":
+        time.sleep(float(params.get("seconds", 30.0)))
+        return
+    if kind == "worker-raise":
+        raise FaultInjected("injected worker fault: worker-raise")

@@ -19,6 +19,7 @@ import subprocess
 import sys
 from datetime import datetime, timezone
 
+from .. import faults as _faults
 from ..analysis import cache as _cache
 from ..arch.kernels import DEFAULT_KERNEL, ENV_VAR as _KERNEL_ENV
 from .tracer import TRACER
@@ -46,7 +47,20 @@ def config_snapshot() -> dict:
         "REPRO_SIM_KERNEL": os.environ.get(_KERNEL_ENV) or DEFAULT_KERNEL,
         "REPRO_TRACE_CACHE": _cache.default_cache_dir(),
         "REPRO_OBS": os.environ.get("REPRO_OBS") or None,
+        "REPRO_FAULTS": os.environ.get(_faults.ENV_VAR) or None,
     }
+
+
+def fault_report() -> dict:
+    """The active fault plan (if any) plus the run's fault ledger.
+
+    Always present in manifests — an all-zero ledger under
+    ``"plan": null`` is the explicit record that the run was clean, and
+    lock breaks or quarantines show up here even when no plan injected
+    them."""
+    plan = _faults.active()
+    return {"plan": plan.plan.describe() if plan else None,
+            **_faults.LEDGER.snapshot()}
 
 
 def span_totals(events) -> dict:
@@ -90,6 +104,7 @@ def build_manifest(tool: str, argv=None, experiments=None,
         "platform": platform.platform(),
         "config": config_snapshot(),
         "cache": snap,
+        "faults": fault_report(),
         "tracing": TRACER.enabled,
     }
     if experiments is not None:

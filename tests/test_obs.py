@@ -176,7 +176,8 @@ class TestManifest:
         assert manifest["python"] == platform.python_version()
         assert manifest["numpy"] == np.__version__
         assert set(manifest["config"]) == {
-            "REPRO_SIM_KERNEL", "REPRO_TRACE_CACHE", "REPRO_OBS"}
+            "REPRO_SIM_KERNEL", "REPRO_TRACE_CACHE", "REPRO_OBS",
+            "REPRO_FAULTS"}
         for field in ("trace_hits", "run_misses", "corrupt", "hits",
                       "misses"):
             assert field in manifest["cache"]

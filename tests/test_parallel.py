@@ -125,7 +125,7 @@ class TestRunJobsPooled:
         for sub in ("traces", "runs"):
             directory = tmp_path / sub
             archives += [f for f in os.listdir(directory)
-                         if not f.endswith(".lock")]
+                         if not f.endswith((".lock", ".sha256"))]
         assert len(archives) == 3
         # The parent sees the workers' archives as hits.
         warm = run_jobs(jobs, max_workers=1, cache_dir=str(tmp_path))

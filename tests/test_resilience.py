@@ -1,0 +1,289 @@
+"""Hardened scheduler and cache: retry/backoff, pool replacement,
+serial fallback, stale-lock breaking, and the pre-warm failure exit."""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro import faults
+from repro.analysis import cache
+from repro.analysis.parallel import (
+    RetryPolicy,
+    run_jobs,
+    trace_job,
+    trace_jobs,
+)
+from repro.faults.plan import _dead_pid
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state():
+    faults.deactivate()
+    faults.LEDGER.reset()
+    yield
+    faults.deactivate()
+    faults.LEDGER.reset()
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_cap=0.3)
+        assert policy.backoff(1) == pytest.approx(0.1)
+        assert policy.backoff(2) == pytest.approx(0.2)
+        assert policy.backoff(5) == pytest.approx(0.3)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOB_RETRIES", "4")
+        monkeypatch.setenv("REPRO_JOB_TIMEOUT", "12.5")
+        policy = RetryPolicy.from_env()
+        assert policy.max_attempts == 5
+        assert policy.job_timeout == 12.5
+        monkeypatch.delenv("REPRO_JOB_RETRIES")
+        monkeypatch.delenv("REPRO_JOB_TIMEOUT")
+        assert RetryPolicy.from_env() == RetryPolicy()
+
+
+class TestInlineRetry:
+    def test_transient_failure_retried_to_success(self, tmp_path,
+                                                  monkeypatch):
+        from repro.analysis import runner
+        real = runner.get_trace
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("transient infrastructure failure")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(runner, "get_trace", flaky)
+        policy = RetryPolicy(max_attempts=3, backoff_base=0.001)
+        summary = run_jobs([trace_job("hello", "s0", "interp")],
+                           max_workers=1, cache_dir=str(tmp_path),
+                           policy=policy)
+        assert not summary.errors
+        assert summary.retries == 2
+        outcome = summary.outcomes[0]
+        assert outcome["attempts"] == 3
+        assert outcome["recovery"] == "retry"
+        assert faults.LEDGER.count("recovered", "retry") == 1
+        assert faults.LEDGER.count("observed", "job_error") == 2
+
+    def test_permanent_failure_exhausts_attempts(self, tmp_path):
+        policy = RetryPolicy(max_attempts=2, backoff_base=0.001)
+        summary = run_jobs([trace_job("no-such-workload", "s0")],
+                           max_workers=1, cache_dir=str(tmp_path),
+                           policy=policy)
+        assert len(summary.errors) == 1
+        assert summary.errors[0]["attempts"] == 2
+        assert summary.retries == 1
+
+
+@pytest.mark.slow
+class TestPooledResilience:
+    """Real spawn pools under injected worker faults."""
+
+    def test_worker_kill_recovers_and_completes(self, tmp_path):
+        faults.activate("worker-kill@1;seed=7")
+        jobs = trace_jobs(("hello",), "s0")
+        summary = run_jobs(jobs, max_workers=2, cache_dir=str(tmp_path),
+                           policy=RetryPolicy(backoff_base=0.001))
+        assert not summary.errors, summary.errors
+        assert summary.pool_replacements >= 1
+        assert faults.LEDGER.count("injected", "worker-kill") == 1
+        assert faults.LEDGER.total("recovered") >= 1
+        # the cache is complete despite the crash: warm rerun is all hits
+        faults.deactivate()
+        warm = run_jobs(jobs, max_workers=1, cache_dir=str(tmp_path))
+        assert warm.stats.hits == len(jobs) and warm.stats.misses == 0
+
+    def test_worker_raise_falls_back_to_serial(self, tmp_path):
+        faults.activate("worker-raise@1:times=5")
+        jobs = trace_jobs(("hello",), "s0")
+        summary = run_jobs(jobs, max_workers=2, cache_dir=str(tmp_path),
+                           policy=RetryPolicy(max_attempts=2,
+                                              backoff_base=0.001))
+        assert not summary.errors, summary.errors
+        assert summary.serial_recoveries == 1
+        (outcome,) = [o for o in summary.outcomes
+                      if o["recovery"] == "serial"]
+        assert outcome["attempts"] == 3  # two pool attempts + serial
+        assert faults.LEDGER.count("recovered", "serial") == 1
+
+    def test_worker_hang_hits_job_timeout(self, tmp_path):
+        faults.activate("worker-hang@1:seconds=30")
+        jobs = trace_jobs(("hello",), "s0")
+        summary = run_jobs(jobs, max_workers=2, cache_dir=str(tmp_path),
+                           policy=RetryPolicy(job_timeout=2.0,
+                                              backoff_base=0.001))
+        assert not summary.errors, summary.errors
+        assert faults.LEDGER.count("observed", "job_timeout") >= 1
+        assert summary.pool_replacements >= 1
+
+    def test_replacement_budget_spent_drains_serially(self, tmp_path):
+        faults.activate("worker-kill@1;seed=7")
+        jobs = trace_jobs(("hello",), "s0")
+        summary = run_jobs(jobs, max_workers=2, cache_dir=str(tmp_path),
+                           policy=RetryPolicy(max_pool_replacements=0,
+                                              backoff_base=0.001))
+        assert not summary.errors, summary.errors
+        assert summary.serial_recoveries >= 1
+        assert faults.LEDGER.count("recovered", "serial") >= 1
+
+    def test_unrecoverable_job_reports_error(self, tmp_path):
+        jobs = [trace_job("no-such-workload", "s0"),
+                trace_job("hello", "s0", "interp")]
+        summary = run_jobs(jobs, max_workers=2, cache_dir=str(tmp_path),
+                           policy=RetryPolicy(max_attempts=2,
+                                              backoff_base=0.001))
+        assert len(summary.errors) == 1
+        assert "no-such-workload" in summary.errors[0]["error"]
+        # two pool attempts plus the failed serial fallback
+        assert summary.errors[0]["attempts"] == 3
+        # the healthy neighbour still landed
+        assert len(summary.outcomes) == 2
+
+
+@pytest.mark.slow
+class TestPrewarmFailureExit:
+    def test_prewarm_errors_yield_nonzero_exit(self, tmp_path, capsys,
+                                               monkeypatch):
+        """A pre-warm job failing beyond all recovery must not abort the
+        run — experiments still render — but the exit code reports it."""
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "")
+        monkeypatch.setenv("REPRO_JOB_RETRIES", "0")
+        from repro.experiments import cli
+        monkeypatch.setattr(
+            cli, "collect_jobs",
+            lambda *a, **k: [trace_job("no-such-workload", "s0")])
+        out_json = str(tmp_path / "out.json")
+        status = cli.main(["fig3", "--scale", "s0", "--benchmarks", "db",
+                           "--jobs", "2",
+                           "--cache-dir", str(tmp_path / "c"),
+                           "--json", out_json])
+        assert status == 1
+        out = capsys.readouterr()
+        assert "pre-warm error" in out.err
+        # the rendering pass recomputed inline and still delivered
+        assert "(fig3 completed" in out.out
+        assert os.path.exists(out_json)
+
+
+class TestStaleLockRecovery:
+    def test_lock_left_by_dead_process_is_broken(self, tmp_path):
+        path = str(tmp_path / "entry.pkl")
+        with open(path + ".lock", "w") as fh:
+            fh.write(str(_dead_pid()))
+        before = cache.STATS.snapshot()
+        with cache.FileLock(path, timeout=5.0):
+            pass
+        delta = cache.CacheStats.diff(cache.STATS.snapshot(), before)
+        assert delta["locks_broken"] == 1
+        assert faults.LEDGER.count("recovered", "lock_break") == 1
+        assert not os.path.exists(path + ".lock")
+
+    def test_store_lands_exactly_once_under_contention(self, tmp_path):
+        """Concurrent contenders racing a stale lock: the lock is
+        broken, every store completes, and exactly one verified entry
+        remains."""
+        cache_dir = tmp_path / "runs"
+        cache_dir.mkdir()
+        path = str(cache_dir / "entry.pkl")
+        with open(path + ".lock", "w") as fh:
+            fh.write(str(_dead_pid()))
+        payload = {"rows": list(range(64))}
+        before = cache.STATS.snapshot()
+        errors = []
+
+        def contend():
+            try:
+                cache.store_run(path, payload)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=contend) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        delta = cache.CacheStats.diff(cache.STATS.snapshot(), before)
+        assert delta["locks_broken"] >= 1
+        assert delta["stores"] == 4
+        entries = [f for f in os.listdir(cache_dir)
+                   if not f.endswith((".lock", ".sha256"))]
+        assert entries == ["entry.pkl"]
+        assert not os.path.exists(path + ".lock")
+        assert cache.load_run(path) == payload
+
+    def test_live_owner_is_waited_for_not_broken(self, tmp_path):
+        path = str(tmp_path / "entry.pkl")
+        held = cache.FileLock(path, timeout=10.0)
+        held.__enter__()
+        before = cache.STATS.snapshot()
+        acquired = threading.Event()
+
+        def waiter():
+            with cache.FileLock(path, timeout=10.0):
+                acquired.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        try:
+            assert not acquired.wait(0.15)  # still held: waiter blocks
+        finally:
+            held.__exit__(None, None, None)
+        assert acquired.wait(10)
+        thread.join(timeout=10)
+        delta = cache.CacheStats.diff(cache.STATS.snapshot(), before)
+        assert delta["locks_broken"] == 0
+
+    def test_live_owner_forced_break_after_timeout(self, tmp_path):
+        path = str(tmp_path / "entry.pkl")
+        with open(path + ".lock", "w") as fh:
+            fh.write(str(os.getpid()))  # alive, and never releasing
+        before = cache.STATS.snapshot()
+        with cache.FileLock(path, timeout=0.2):
+            pass
+        delta = cache.CacheStats.diff(cache.STATS.snapshot(), before)
+        assert delta["locks_broken"] == 1
+        assert faults.LEDGER.count("recovered", "lock_break_forced") == 1
+
+    def test_unreadable_lock_broken_after_grace(self, tmp_path,
+                                                monkeypatch):
+        monkeypatch.setattr(cache, "LOCK_UNREADABLE_GRACE", 0.05)
+        path = str(tmp_path / "entry.pkl")
+        with open(path + ".lock", "w") as fh:
+            fh.write("not-a-pid")
+        with cache.FileLock(path, timeout=5.0):
+            pass
+        assert faults.LEDGER.count("recovered", "lock_break") == 1
+
+
+class TestQuarantine:
+    def test_corrupt_run_archive_quarantined_and_recomputed(self,
+                                                            tmp_path):
+        from repro.analysis.runner import run_vm
+        cache_dir = str(tmp_path)
+        run_vm("hello", scale="s0", mode="interp", cache_dir=cache_dir)
+        runs = os.path.join(cache_dir, "runs")
+        (entry,) = [f for f in os.listdir(runs) if f.endswith(".pkl")]
+        path = os.path.join(runs, entry)
+        with open(path, "wb") as fh:
+            fh.write(b"\x80garbage")  # digest mismatch
+        before = cache.STATS.snapshot()
+        again = run_vm("hello", scale="s0", mode="interp",
+                       cache_dir=cache_dir)
+        delta = cache.CacheStats.diff(cache.STATS.snapshot(), before)
+        assert delta["corrupt"] == 1
+        assert delta["quarantined"] == 1
+        assert again is not None  # recomputed fine
+        qdir = os.path.join(cache_dir, "quarantine")
+        assert os.listdir(qdir) == [entry]
+        assert faults.LEDGER.count("recovered", "quarantine") == 1
+        # pruning clears the corpse
+        assert cache.prune(cache_dir) >= 1
+        assert not os.listdir(qdir)
