@@ -147,14 +147,17 @@ def reset_source_digest() -> None:
     _digest_cache.clear()
 
 
-def cache_key(kind: str, *, root: str | None = None, **fields) -> str:
+def cache_key(kind: str, /, *, root: str | None = None, **fields) -> str:
     """Content-addressed key for one cache entry.
 
     ``fields`` must be JSON-serializable; the key covers the source
     digest, the entry kind, and every field — so any source or config
-    change produces a different key.
+    change produces a different key.  ``kind`` is positional-only and
+    the fields are namespaced in the payload, so a config field named
+    ``kind`` (or ``source``) can neither collide with the parameter nor
+    shadow the entry kind in the digest.
     """
-    payload = {"kind": kind, "source": source_digest(root), **fields}
+    payload = {"kind": kind, "source": source_digest(root), "fields": fields}
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
 

@@ -1,0 +1,84 @@
+"""Miscompile planting: flip one opcode in an already-built program.
+
+The oracle is only trustworthy if it *would* notice a wrong translation.
+This module provides the mutation used by the sanity check: pick one
+instruction in a user-defined method and swap its opcode for a
+stack-compatible sibling (same pops/pushes, different semantics), or
+nudge a constant.  The mutated program still passes the structural
+verifier — the bug is purely semantic, exactly the class a broken JIT
+template would introduce — so if the differential oracle flags it, the
+oracle has teeth.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..isa.method import Program
+from ..isa.opcodes import Op
+from ..vm import values
+
+#: Opcode swaps that preserve stack shape but change meaning.
+_FLIPS = {
+    Op.IADD: Op.ISUB,
+    Op.ISUB: Op.IADD,
+    Op.IMUL: Op.IADD,
+    Op.IAND: Op.IOR,
+    Op.IOR: Op.IAND,
+    Op.IXOR: Op.IAND,
+    Op.IF_ICMPLT: Op.IF_ICMPGE,
+    Op.IF_ICMPGE: Op.IF_ICMPLT,
+    Op.IF_ICMPEQ: Op.IF_ICMPNE,
+    Op.IF_ICMPNE: Op.IF_ICMPEQ,
+    Op.IFEQ: Op.IFNE,
+    Op.IFNE: Op.IFEQ,
+    Op.IFLE: Op.IFGT,
+    Op.IFGT: Op.IFLE,
+}
+
+#: Ops whose ``a`` operand can be nudged without breaking verification.
+_NUDGE = {Op.ICONST, Op.IINC}
+
+#: Library/internal classes a mutation must never touch.
+_LIBRARY_PREFIXES = ("java/", "repro/", "spec/")
+
+
+def mutation_sites(program: Program) -> list[tuple]:
+    """Deterministic list of (class, method, index, kind) candidates."""
+    sites = []
+    for cls_name in sorted(program.classes):
+        if cls_name.startswith(_LIBRARY_PREFIXES):
+            continue
+        jclass = program.classes[cls_name]
+        for mname, method in method_items(jclass):
+            if method.is_native:
+                continue
+            for i, instr in enumerate(method.code):
+                if instr.op in _FLIPS:
+                    sites.append((cls_name, mname, i, "flip"))
+                elif instr.op in _NUDGE:
+                    sites.append((cls_name, mname, i, "nudge"))
+    return sites
+
+
+def method_items(jclass):
+    return sorted(jclass.methods.items())
+
+
+def flip_one_opcode(program: Program, rng: random.Random) -> Program:
+    """Mutate ``program`` in place: one semantic-only opcode flip.
+
+    Raises ``ValueError`` when the program offers no mutation site.
+    """
+    sites = mutation_sites(program)
+    if not sites:
+        raise ValueError("program has no mutable instruction")
+    cls_name, mname, i, kind = rng.choice(sites)
+    instr = program.classes[cls_name].methods[mname].code[i]
+    if kind == "flip":
+        instr.op = _FLIPS[instr.op]
+    elif instr.op is Op.IINC:
+        instr.b = values.i32(instr.b + 1)
+    else:
+        instr.a = values.i32(instr.a + 1)
+    return program

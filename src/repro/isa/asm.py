@@ -31,7 +31,8 @@ import shlex
 
 from .builder import ClassBuilder, Label, MethodBuilder, ProgramBuilder
 from .method import Method, Program
-from .opcodes import ArrayType
+from .opcodes import ArrayType, Op
+from .pool import StringConst
 
 
 class AsmError(Exception):
@@ -222,6 +223,135 @@ def _assemble_instruction(state: _MethodState, tokens, line_no) -> None:
         raise
     except (IndexError, ValueError, KeyError) as exc:
         raise AsmError(line_no, f"bad operands for {op!r}: {exc}") from None
+
+
+#: Classes :func:`disassemble_program` skips — the runtime library is
+#: linked into every program by the VM, never part of its source.
+_LIBRARY_PREFIXES = ("java/", "repro/")
+
+_ARRAY_NAMES = {int(t): t.name.lower() for t in ArrayType}
+
+
+def disassemble_program(program: Program, header: str = "") -> str:
+    """Render ``program`` back into :func:`assemble`-compatible source.
+
+    The main class is emitted first so that re-assembling with the
+    default ``main_class`` reproduces the entry point.  Runtime-library
+    classes (``java/*``, ``repro/*``) are skipped — the VM links them
+    into every program.  ``assemble(disassemble_program(p))`` rebuilds a
+    semantically identical program, and disassembly of the rebuilt
+    program is a textual fixpoint.
+    """
+    names = [name for name in program.classes
+             if not name.startswith(_LIBRARY_PREFIXES)]
+    names.sort(key=lambda n: (n != program.main_class, n))
+    lines: list[str] = []
+    for text in header.splitlines():
+        lines.append(f"; {text}" if text else ";")
+    for name in names:
+        _disassemble_class(program.classes[name], lines)
+    return "\n".join(lines) + "\n"
+
+
+def _disassemble_class(jclass, lines: list[str]) -> None:
+    if jclass.super_name and jclass.super_name != "java/lang/Object":
+        lines.append(f".class {jclass.name} extends {jclass.super_name}")
+    else:
+        lines.append(f".class {jclass.name}")
+    for fld in jclass.fields:
+        static = " static" if fld.is_static else ""
+        lines.append(f".field {fld.name} {fld.ftype}{static}")
+    for mname in jclass.methods:
+        method = jclass.methods[mname]
+        if method.is_native:
+            raise ValueError(
+                f"cannot disassemble native method {method.qualified_name}")
+        _disassemble_method(method, lines)
+    lines.append("")
+
+
+def _disassemble_method(method: Method, lines: list[str]) -> None:
+    flags = []
+    if method.argc:
+        flags.append(f"argc={method.argc}")
+    if method.is_static:
+        flags.append("static")
+    if method.has_result:
+        flags.append("returns")
+    if method.is_synchronized:
+        flags.append("synchronized")
+    lines.append(f".method {method.name}" +
+                 ("" if not flags else " " + " ".join(flags)))
+
+    targets = _branch_targets(method)
+    labels = {index: f"L{index}" for index in sorted(targets)}
+    for index, instr in enumerate(method.code):
+        if index in labels:
+            lines.append(f"{labels[index]}:")
+        lines.append("    " + _disassemble_instr(instr, method, labels))
+    if len(method.code) in labels:
+        lines.append(f"{labels[len(method.code)]}:")
+    lines.append(".end")
+
+
+def _branch_targets(method: Method) -> set[int]:
+    targets: set[int] = set()
+    for instr in method.code:
+        kind = instr.info.kind
+        if kind in ("branch", "goto"):
+            targets.add(instr.a)
+        elif instr.op is Op.TABLESWITCH:
+            low, switch_targets, default = instr.extra
+            targets.update(switch_targets)
+            targets.add(default)
+        elif instr.op is Op.LOOKUPSWITCH:
+            table, default = instr.extra
+            targets.update(table.values())
+            targets.add(default)
+    return targets
+
+
+def _disassemble_instr(instr, method: Method, labels: dict[int, str]) -> str:
+    op = instr.op
+    name = instr.info.mnemonic
+    pool = method.pool if method.pool is not None else method.jclass.pool
+    if op is Op.ICONST:
+        return f"iconst {instr.a}"
+    if op is Op.FCONST:
+        return f"fconst {instr.a!r}"
+    if op is Op.LDC:
+        entry = pool[instr.a]
+        if isinstance(entry, StringConst):
+            return f"ldc_str {shlex.quote(entry.value)}"
+        return f"ldc_float {entry.value!r}"
+    if op in (Op.ILOAD, Op.FLOAD, Op.ALOAD,
+              Op.ISTORE, Op.FSTORE, Op.ASTORE):
+        return f"{name} {instr.a}"
+    if op is Op.IINC:
+        return f"iinc {instr.a} {instr.b}"
+    if op is Op.NEWARRAY:
+        return f"newarray {_ARRAY_NAMES[instr.a]}"
+    if op in (Op.NEW, Op.ANEWARRAY, Op.CHECKCAST, Op.INSTANCEOF):
+        return f"{name} {pool[instr.a].class_name}"
+    if op in (Op.GETFIELD, Op.PUTFIELD, Op.GETSTATIC, Op.PUTSTATIC):
+        ref = pool[instr.a]
+        return f"{name} {ref.class_name} {ref.field_name}"
+    if op in (Op.INVOKEVIRTUAL, Op.INVOKESPECIAL, Op.INVOKESTATIC):
+        ref = pool[instr.a]
+        ret = "ret" if ref.has_result else "void"
+        return f"{name} {ref.class_name} {ref.method_name} {ref.argc} {ret}"
+    if instr.info.kind in ("branch", "goto"):
+        return f"{name} {labels[instr.a]}"
+    if op is Op.TABLESWITCH:
+        low, switch_targets, default = instr.extra
+        parts = [str(low)] + [labels[t] for t in switch_targets]
+        return f"tableswitch {' '.join(parts)} default {labels[default]}"
+    if op is Op.LOOKUPSWITCH:
+        table, default = instr.extra
+        pairs = " ".join(f"{k}:{labels[t]}"
+                         for k, t in sorted(table.items()))
+        return f"lookupswitch {pairs} default {labels[default]}"
+    return name
 
 
 def list_method(method: Method) -> str:

@@ -77,4 +77,4 @@ FIG1_BENCHMARKS = ("hello", "db", "javac", "jess", "compress", "jack")
 
 def _ensure_imported() -> None:
     """Import the workload modules so their @register decorators run."""
-    from . import specjvm  # noqa: F401  (registration side effect)
+    from . import promoted, specjvm  # noqa: F401  (registration side effect)

@@ -1,0 +1,76 @@
+"""Fuzz-promoted workloads.
+
+Performance-anomaly survivors found by ``python -m repro.fuzz
+--promote`` are checked in as assembly under ``promoted/`` and
+registered here as first-class workloads named ``fuzz_<digest>``: from
+then on they run under the full differential, integration, and
+characterization suites like any hand-written benchmark.
+
+Scale surgery: a fuzz program is a single ``main``.  To honour the
+workload contract (``s1`` must do strictly more work than ``s0``), the
+promoted build renames the fuzzed ``main`` to ``fuzzbody`` and
+synthesizes a driver ``main`` that invokes it ``reps(scale)`` times.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..isa.asm import assemble
+from ..isa.instruction import Instr
+from ..isa.method import Method, Program
+from ..isa.opcodes import Op
+from ..isa.verifier import verify_program
+from .base import register
+
+#: Driver iterations per scale.
+_REPS = {"s0": 1, "s1": 3, "s10": 10}
+
+_BODY = "fuzzbody"
+
+_DIR = Path(__file__).resolve().parent / "promoted"
+
+
+def _build_promoted(text: str, scale: str) -> Program:
+    program = assemble(text)
+    jclass = program.get_class(program.main_class)
+    body = jclass.methods.pop("main")
+    body.name = _BODY
+    jclass.methods[_BODY] = body
+
+    ref = jclass.pool.method_ref(program.main_class, _BODY, 0, False)
+    driver = Method(
+        name="main", argc=0, has_result=False, is_static=True,
+        max_locals=1,
+        code=[
+            Instr(Op.ICONST, _REPS[scale]),
+            Instr(Op.ISTORE, 0),
+            Instr(Op.ILOAD, 0),                   # 2: loop head
+            Instr(Op.IFLE, 7),
+            Instr(Op.INVOKESTATIC, ref),
+            Instr(Op.IINC, 0, -1),
+            Instr(Op.GOTO, 2),
+            Instr(Op.RETURN),                     # 7: done
+        ],
+    )
+    jclass.add_method(driver)
+    verify_program(program)
+    return program
+
+
+def _register_all() -> None:
+    if not _DIR.is_dir():
+        return
+    for path in sorted(_DIR.glob("*.asm")):
+        text = path.read_text()
+        first = text.lstrip().splitlines()[0] if text.strip() else ""
+        description = (first.lstrip("; ").strip()
+                       or "fuzz-promoted workload")
+
+        def _build(scale: str, _text: str = text) -> Program:
+            return _build_promoted(_text, scale)
+
+        register(path.stem, description)(_build)
+
+
+_register_all()

@@ -1,0 +1,562 @@
+; promoted fuzz survivor (performance anomaly)
+; translate_dominated: translate share 0.773 of jit cycles (59182/76514)
+; generator seed: 139
+.class Main
+.field acc int static
+.field shared ref static
+.method main static
+    iconst 16
+    istore 0
+    iconst 87
+    istore 1
+    iconst 2
+    istore 2
+    fconst -99.941
+    fstore 3
+    fconst -51.462
+    fstore 4
+    new FuzzData
+    dup
+    invokespecial FuzzData <init> 0 void
+    astore 5
+    new FuzzData
+    dup
+    invokespecial FuzzData <init> 0 void
+    astore 6
+    iconst 8
+    newarray int
+    astore 7
+    iconst 0
+    istore 8
+    iconst 0
+    istore 9
+    aload 6
+    astore 10
+    aload 10
+    monitorenter
+    aload 6
+    aload 5
+    getfield FuzzData f1
+    iconst -1
+    i2b
+    ior
+    putfield FuzzData f0
+    aload 5
+    astore 11
+    aload 11
+    monitorenter
+    aload 6
+    iconst -88
+    invokevirtual FuzzData bump 1 ret
+    iload 2
+    iushr
+    istore 0
+    iconst 70
+    ineg
+    iload 1
+    iload 1
+    iand
+    ishl
+    aload 7
+    iload 1
+    iconst 8
+    irem
+    iconst 8
+    iadd
+    iconst 8
+    irem
+    iaload
+    ineg
+    ishl
+    istore 2
+    aload 11
+    monitorexit
+    aload 10
+    monitorexit
+    aload 5
+    astore 10
+    aload 10
+    monitorenter
+    iload 1
+    ifeq L89
+    aload 7
+    getstatic Main acc
+    iconst 8
+    irem
+    iconst 8
+    iadd
+    iconst 8
+    irem
+    iconst -65
+    iload 2
+    iload 2
+    ior
+    isub
+    iastore
+    goto L89
+L89:
+    iconst -28
+    istore 0
+    aload 10
+    monitorexit
+    aload 7
+    iconst -47
+    iconst 8
+    irem
+    iconst 8
+    iadd
+    iconst 8
+    irem
+    iaload
+    aload 7
+    fload 4
+    fconst -1.704
+    fcmpl
+    iconst 8
+    irem
+    iconst 8
+    iadd
+    iconst 8
+    irem
+    iaload
+    if_icmplt L165
+    iload 0
+    fload 3
+    fconst -14.814
+    fcmpl
+    imul
+    i2s
+    istore 0
+    iload 0
+    iconst 42
+    if_icmple L147
+    aload 7
+    iconst 41
+    iload 0
+    iconst -43
+    iconst 1
+    ior
+    idiv
+    iconst 1
+    ior
+    idiv
+    iconst 8
+    irem
+    iconst 8
+    iadd
+    iconst 8
+    irem
+    iload 0
+    fconst 99.296
+    fconst -79.876
+    fcmpl
+    iand
+    iastore
+    goto L155
+L147:
+    aload 5
+    fload 3
+    fconst -26.233
+    fcmpg
+    iconst 255
+    ishr
+    invokevirtual FuzzData bump 1 ret
+    istore 1
+L155:
+    aload 6
+    iconst -52
+    i2b
+    iconst -13
+    iconst 32
+    isub
+    imul
+    invokevirtual FuzzData bump 1 ret
+    istore 1
+    goto L190
+L165:
+    iconst 86
+    istore 2
+    iload 0
+    ifle L186
+    iconst 100
+    putstatic Main acc
+    aload 6
+    putstatic Main shared
+    fconst 30.542
+    fconst 52.484
+    fconst 19.594
+    fmul
+    fcmpl
+    iconst 86
+    iload 1
+    iload 1
+    imul
+    ixor
+    ishl
+    istore 0
+    goto L190
+L186:
+    fconst -31.64
+    fstore 3
+    fconst 94.971
+    fstore 3
+L190:
+    aload 5
+    getfield FuzzData f0
+    getstatic Main acc
+    ior
+    istore 2
+    getstatic java/lang/System out
+    iconst 2147483647
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    aload 5
+    getfield FuzzData f1
+    i2b
+    aload 5
+    getfield FuzzData f1
+    iload 1
+    ishl
+    if_icmplt L228
+    iload 0
+    iload 0
+    iconst 1
+    ior
+    idiv
+    istore 1
+    aload 6
+    iconst -4
+    i2c
+    putfield FuzzData f1
+    aload 7
+    iload 1
+    i2s
+    iconst 8
+    irem
+    iconst 8
+    iadd
+    iconst 8
+    irem
+    iload 0
+    iastore
+    goto L252
+L228:
+    iconst 1
+    istore 9
+L230:
+    iload 9
+    ifle L243
+    getstatic Main acc
+    istore 2
+    aload 6
+    fload 4
+    aload 5
+    getfield FuzzData g0
+    fcmpg
+    invokevirtual FuzzData bump 1 ret
+    istore 0
+    iinc 9 -1
+    goto L230
+L243:
+    aload 6
+    iload 1
+    i2b
+    fconst -3.525
+    fload 4
+    fcmpl
+    iand
+    invokevirtual FuzzData bump 1 ret
+    istore 2
+L252:
+    aload 5
+    getfield FuzzData f1
+    iload 0
+    iconst -98
+    iushr
+    ishl
+    iload 2
+    if_icmple L287
+    iconst -98
+    istore 2
+    aload 5
+    astore 10
+    aload 10
+    monitorenter
+    aload 5
+    getfield FuzzData f1
+    istore 2
+    iconst -97
+    iload 0
+    iconst -18
+    iconst 1
+    ior
+    irem
+    iload 1
+    iload 2
+    ishl
+    iadd
+    iushr
+    istore 1
+    aload 10
+    monitorexit
+    aload 5
+    iconst -96
+    putfield FuzzData f0
+    goto L304
+L287:
+    aload 7
+    iconst -60
+    iconst -98
+    iushr
+    i2b
+    iconst 8
+    irem
+    iconst 8
+    iadd
+    iconst 8
+    irem
+    aload 6
+    iload 1
+    invokevirtual FuzzData bump 1 ret
+    iload 1
+    ior
+    iastore
+L304:
+    iconst 2147483647
+    iconst -14
+    if_icmplt L356
+    iload 1
+    getstatic Main acc
+    isub
+    iconst 10
+    if_icmpne L333
+    aload 7
+    iload 0
+    iconst 8
+    irem
+    iconst 8
+    iadd
+    iconst 8
+    irem
+    iaload
+    iconst 1
+    imul
+    iload 2
+    isub
+    istore 1
+    new FuzzData
+    dup
+    invokespecial FuzzData <init> 0 void
+    astore 6
+    iload 2
+    istore 1
+    goto L350
+L333:
+    aload 7
+    iconst -43
+    iload 0
+    iadd
+    ineg
+    iconst 8
+    irem
+    iconst 8
+    iadd
+    iconst 8
+    irem
+    iload 0
+    i2c
+    aload 5
+    getfield FuzzData f1
+    ishr
+    iastore
+L350:
+    fconst -27.563
+    fload 4
+    fneg
+    fcmpl
+    putstatic Main acc
+    goto L403
+L356:
+    iconst 2
+    istore 9
+L358:
+    iload 9
+    ifle L379
+    aload 6
+    aload 7
+    iconst 43
+    iconst 8
+    irem
+    iconst 8
+    iadd
+    iconst 8
+    irem
+    iaload
+    fconst 72.656
+    fload 4
+    fcmpg
+    iushr
+    putfield FuzzData f1
+    iload 2
+    istore 1
+    iinc 9 -1
+    goto L358
+L379:
+    iconst 5
+    istore 9
+L381:
+    iload 9
+    ifle L403
+    aload 7
+    fload 4
+    fload 4
+    fcmpl
+    iconst 8
+    irem
+    iconst 8
+    iadd
+    iconst 8
+    irem
+    iaload
+    getstatic Main acc
+    isub
+    istore 1
+    fconst -39.956
+    fconst 58.804
+    fcmpl
+    istore 2
+    iinc 9 -1
+    goto L381
+L403:
+    fconst -9.076
+    fneg
+    iconst -78
+    i2f
+    fcmpl
+    istore 1
+    getstatic java/lang/System out
+    iload 0
+    fconst -23.467
+    fconst 29.707
+    fcmpg
+    ixor
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    aload 6
+    iload 0
+    invokevirtual FuzzData bump 1 ret
+    iload 2
+    if_icmpge L426
+    aload 5
+    iconst 25
+    invokevirtual FuzzData bump 1 ret
+    istore 1
+    goto L426
+L426:
+    iconst 74
+    i2c
+    istore 1
+    iconst 53
+    istore 1
+    aload 6
+    astore 10
+    aload 10
+    monitorenter
+    aload 6
+    iconst 53
+    invokevirtual FuzzData bump 1 ret
+    istore 1
+    iconst 3
+    istore 9
+L441:
+    iload 9
+    ifle L456
+    aload 7
+    iconst 50
+    iconst 8
+    irem
+    iconst 8
+    iadd
+    iconst 8
+    irem
+    aload 5
+    getfield FuzzData f1
+    iastore
+    iinc 9 -1
+    goto L441
+L456:
+    iconst 73
+    istore 2
+    aload 10
+    monitorexit
+    getstatic java/lang/System out
+    iload 0
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    getstatic java/lang/System out
+    iload 1
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    getstatic java/lang/System out
+    iload 2
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    getstatic java/lang/System out
+    fload 3
+    fconst 0.5
+    fcmpl
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    getstatic java/lang/System out
+    fload 4
+    fconst 0.5
+    fcmpl
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    getstatic java/lang/System out
+    getstatic Main acc
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    getstatic java/lang/System out
+    aload 5
+    getfield FuzzData f0
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    getstatic java/lang/System out
+    aload 7
+    iconst 0
+    iconst 8
+    irem
+    iconst 8
+    iadd
+    iconst 8
+    irem
+    iaload
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    getstatic java/lang/System out
+    aload 7
+    iconst 7
+    iconst 8
+    irem
+    iconst 8
+    iadd
+    iconst 8
+    irem
+    iaload
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    return
+.end
+
+.class FuzzData
+.field f0 int
+.field f1 int
+.field g0 float
+.method <init>
+    aload 0
+    iconst 7
+    putfield FuzzData f0
+    return
+.end
+.method bump argc=1 returns
+    aload 0
+    aload 0
+    getfield FuzzData f0
+    iload 1
+    iadd
+    putfield FuzzData f0
+    aload 0
+    getfield FuzzData f0
+    ireturn
+.end
+

@@ -1,0 +1,459 @@
+; promoted fuzz survivor (performance anomaly)
+; translate_dominated: translate share 0.772 of jit cycles (48834/63248)
+; generator seed: 176
+.class Main
+.field acc int static
+.field shared ref static
+.method main static
+    iconst -49
+    istore 0
+    iconst -22
+    istore 1
+    iconst -2147483648
+    istore 2
+    fconst -85.267
+    fstore 3
+    new FuzzData
+    dup
+    invokespecial FuzzData <init> 0 void
+    astore 4
+    new FuzzData
+    dup
+    invokespecial FuzzData <init> 0 void
+    astore 5
+    iconst 5
+    newarray int
+    astore 6
+    iconst 0
+    istore 7
+    iconst 0
+    istore 8
+    iconst -9
+    iconst 63
+    iload 1
+    ior
+    isub
+    fconst 83.087
+    fconst -97.227
+    fneg
+    fcmpl
+    if_icmple L36
+    fload 3
+    fstore 3
+    goto L49
+L36:
+    iconst 255
+    iconst -7
+    ishl
+    putstatic Main acc
+    aload 5
+    iconst -1
+    iconst 18
+    iconst 1
+    ior
+    irem
+    iconst 255
+    imul
+    putfield FuzzData f1
+L49:
+    fconst 67.327
+    fstore 3
+    aload 6
+    iconst -2147483648
+    iconst 5
+    irem
+    iconst 5
+    iadd
+    iconst 5
+    irem
+    iload 2
+    iconst -49
+    iadd
+    iload 1
+    ishl
+    iastore
+    aload 5
+    iload 1
+    invokevirtual FuzzData bump 1 ret
+    istore 0
+    fconst -46.168
+    fstore 3
+    aload 5
+    iload 0
+    iconst 53
+    ixor
+    iload 1
+    iconst 8
+    imul
+    iconst 1
+    ior
+    irem
+    invokevirtual FuzzData bump 1 ret
+    istore 0
+    iload 1
+    iconst 3
+    irem
+    iconst 3
+    iadd
+    iconst 3
+    irem
+    tableswitch 0 L91 L133 L169 default L174
+L91:
+    fload 3
+    fneg
+    fconst 47.901
+    fadd
+    fstore 3
+    fconst -6.93
+    fconst 10.118
+    fload 3
+    fmul
+    fcmpg
+    iconst 31
+    if_icmpne L124
+    iconst 93
+    aload 6
+    iload 0
+    iconst 5
+    irem
+    iconst 5
+    iadd
+    iconst 5
+    irem
+    iaload
+    iand
+    iconst -10
+    iload 0
+    ishl
+    aload 5
+    iconst -51
+    invokevirtual FuzzData bump 1 ret
+    isub
+    imul
+    istore 2
+    goto L132
+L124:
+    aload 4
+    fload 3
+    fconst 15.997
+    fcmpg
+    invokevirtual FuzzData bump 1 ret
+    istore 0
+    aload 4
+    putstatic Main shared
+L132:
+    goto L218
+L133:
+    iconst 48
+    iload 0
+    iconst 1
+    ior
+    idiv
+    iconst -89
+    ior
+    iload 0
+    if_icmpgt L163
+    aload 6
+    aload 6
+    iconst 46
+    iconst 5
+    irem
+    iconst 5
+    iadd
+    iconst 5
+    irem
+    iaload
+    iload 2
+    imul
+    iconst 5
+    irem
+    iconst 5
+    iadd
+    iconst 5
+    irem
+    iconst -10
+    iastore
+    goto L168
+L163:
+    iconst -43
+    istore 2
+    aload 5
+    iload 1
+    putfield FuzzData f1
+L168:
+    goto L218
+L169:
+    new FuzzData
+    dup
+    invokespecial FuzzData <init> 0 void
+    astore 5
+    goto L218
+L174:
+    fload 3
+    fconst 99.059
+    fcmpg
+    aload 6
+    iconst -13
+    iconst 5
+    irem
+    iconst 5
+    iadd
+    iconst 5
+    irem
+    iaload
+    if_icmpgt L218
+    aload 5
+    iconst -27
+    iload 2
+    iconst 1
+    ior
+    irem
+    i2b
+    putfield FuzzData f0
+    aload 5
+    aload 6
+    iload 1
+    iconst 5
+    irem
+    iconst 5
+    iadd
+    iconst 5
+    irem
+    iaload
+    iconst 49
+    iconst -84
+    iand
+    ishl
+    putfield FuzzData f1
+    fload 3
+    fconst -52.194
+    fload 3
+    fdiv
+    fcmpl
+    i2b
+    putstatic Main acc
+    goto L218
+L218:
+    iconst 86
+    istore 1
+    new FuzzData
+    dup
+    invokespecial FuzzData <init> 0 void
+    astore 5
+    aload 6
+    aload 6
+    iload 2
+    iconst 5
+    irem
+    iconst 5
+    iadd
+    iconst 5
+    irem
+    iaload
+    iconst 5
+    irem
+    iconst 5
+    iadd
+    iconst 5
+    irem
+    aload 6
+    iload 2
+    iconst 5
+    irem
+    iconst 5
+    iadd
+    iconst 5
+    irem
+    iaload
+    iload 1
+    ishr
+    iastore
+    getstatic java/lang/System out
+    iconst -57
+    iconst -7
+    iadd
+    aload 6
+    iconst 93
+    iconst 5
+    irem
+    iconst 5
+    iadd
+    iconst 5
+    irem
+    iaload
+    isub
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    iload 1
+    i2b
+    iload 0
+    iadd
+    iconst 2
+    irem
+    iconst 2
+    iadd
+    iconst 2
+    irem
+    tableswitch 0 L278 L354 default L365
+L278:
+    iload 2
+    i2c
+    iload 0
+    iadd
+    istore 2
+    aload 6
+    iconst 18
+    iconst 5
+    irem
+    iconst 5
+    iadd
+    iconst 5
+    irem
+    iaload
+    aload 6
+    iload 0
+    iconst 5
+    irem
+    iconst 5
+    iadd
+    iconst 5
+    irem
+    iaload
+    i2b
+    if_icmpge L335
+    aload 6
+    iload 2
+    iconst 5
+    irem
+    iconst 5
+    iadd
+    iconst 5
+    irem
+    iaload
+    iload 1
+    i2c
+    aload 4
+    getfield FuzzData f0
+    ishl
+    iconst 1
+    ior
+    idiv
+    istore 0
+    aload 6
+    iconst -17
+    iconst 5
+    irem
+    iconst 5
+    iadd
+    iconst 5
+    irem
+    aload 4
+    getfield FuzzData f1
+    iastore
+    aload 4
+    putstatic Main shared
+    goto L353
+L335:
+    aload 6
+    fconst -25.034
+    fload 3
+    fcmpg
+    aload 4
+    getfield FuzzData f1
+    ixor
+    iconst 5
+    irem
+    iconst 5
+    iadd
+    iconst 5
+    irem
+    iaload
+    istore 1
+    getstatic java/lang/System out
+    iload 2
+    invokevirtual java/io/PrintStream printlnInt 1 void
+L353:
+    goto L367
+L354:
+    aload 5
+    putstatic Main shared
+    getstatic Main acc
+    iload 0
+    iconst 77
+    iand
+    iload 1
+    ishr
+    iand
+    putstatic Main acc
+    goto L367
+L365:
+    iconst 63
+    putstatic Main acc
+L367:
+    getstatic java/lang/System out
+    iload 0
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    getstatic java/lang/System out
+    iload 1
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    getstatic java/lang/System out
+    iload 2
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    getstatic java/lang/System out
+    fload 3
+    fconst 0.5
+    fcmpl
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    getstatic java/lang/System out
+    getstatic Main acc
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    getstatic java/lang/System out
+    aload 4
+    getfield FuzzData f0
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    getstatic java/lang/System out
+    aload 6
+    iconst 0
+    iconst 5
+    irem
+    iconst 5
+    iadd
+    iconst 5
+    irem
+    iaload
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    getstatic java/lang/System out
+    aload 6
+    iconst 4
+    iconst 5
+    irem
+    iconst 5
+    iadd
+    iconst 5
+    irem
+    iaload
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    return
+.end
+
+.class FuzzData
+.field f0 int
+.field f1 int
+.field g0 float
+.method <init>
+    aload 0
+    iconst 7
+    putfield FuzzData f0
+    return
+.end
+.method bump argc=1 returns
+    aload 0
+    aload 0
+    getfield FuzzData f0
+    iload 1
+    iadd
+    putfield FuzzData f0
+    aload 0
+    getfield FuzzData f0
+    ireturn
+.end
+

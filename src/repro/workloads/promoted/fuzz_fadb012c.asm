@@ -1,0 +1,624 @@
+; promoted fuzz survivor (performance anomaly)
+; translate_dominated: translate share 0.778 of jit cycles (63946/82177)
+; generator seed: 84
+.class Main
+.field acc int static
+.field shared ref static
+.method h0 argc=1 static returns
+    iload 0
+    iconst 93
+    iand
+    iload 0
+    iconst 21
+    iushr
+    iconst 1
+    ior
+    irem
+    ireturn
+.end
+.method h1 argc=1 static returns
+    iload 0
+    iload 0
+    iload 0
+    iadd
+    iadd
+    ireturn
+.end
+.method h2 argc=2 static returns
+    iconst 19
+    ireturn
+.end
+.method main static
+    iconst 83
+    istore 0
+    iconst 2147483647
+    istore 1
+    iconst 95
+    istore 2
+    iconst -12
+    istore 3
+    iconst 54
+    istore 4
+    fconst -70.992
+    fstore 5
+    fconst -17.328
+    fstore 6
+    new FuzzData
+    dup
+    invokespecial FuzzData <init> 0 void
+    astore 7
+    new FuzzData
+    dup
+    invokespecial FuzzData <init> 0 void
+    astore 8
+    iconst 4
+    newarray int
+    astore 9
+    iconst 0
+    istore 10
+    iconst 0
+    istore 11
+    aload 9
+    aload 8
+    aload 9
+    iconst 61
+    iconst 4
+    irem
+    iconst 4
+    iadd
+    iconst 4
+    irem
+    iaload
+    invokevirtual FuzzData bump 1 ret
+    iconst 4
+    irem
+    iconst 4
+    iadd
+    iconst 4
+    irem
+    iaload
+    istore 1
+    iconst 37
+    iconst 65
+    iload 0
+    ishr
+    iand
+    getstatic Main acc
+    if_icmpgt L59
+    getstatic Main acc
+    istore 3
+    goto L114
+L59:
+    iconst 67
+    iconst -99
+    iconst 1
+    ior
+    idiv
+    aload 7
+    getfield FuzzData f1
+    ishl
+    ifge L84
+    aload 8
+    aload 8
+    iload 3
+    invokevirtual FuzzData bump 1 ret
+    iload 2
+    iload 4
+    ior
+    iconst 1
+    ior
+    idiv
+    putfield FuzzData f1
+    fconst -97.868
+    fstore 6
+    fconst -41.968
+    fstore 5
+    goto L114
+L84:
+    aload 9
+    iconst -55
+    iconst -56
+    ior
+    iconst 4
+    irem
+    iconst 4
+    iadd
+    iconst 4
+    irem
+    iconst 71
+    i2s
+    iconst 18
+    iadd
+    iastore
+    aload 7
+    iload 2
+    i2c
+    aload 9
+    iload 4
+    iconst 4
+    irem
+    iconst 4
+    iadd
+    iconst 4
+    irem
+    iaload
+    iadd
+    invokevirtual FuzzData bump 1 ret
+    istore 0
+L114:
+    iload 2
+    iconst -22
+    ior
+    iconst -70
+    ixor
+    ifeq L143
+    aload 8
+    astore 12
+    aload 12
+    monitorenter
+    aload 8
+    iconst 94
+    i2c
+    i2s
+    putfield FuzzData f1
+    iconst 29
+    istore 0
+    aload 7
+    iload 2
+    putfield FuzzData f1
+    aload 12
+    monitorexit
+    getstatic java/lang/System out
+    aload 8
+    iconst -24
+    i2b
+    invokevirtual FuzzData bump 1 ret
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    goto L184
+L143:
+    aload 7
+    astore 12
+    aload 12
+    monitorenter
+    aload 8
+    aload 9
+    iconst -98
+    iconst 4
+    irem
+    iconst 4
+    iadd
+    iconst 4
+    irem
+    iaload
+    iconst 85
+    iload 1
+    ior
+    ixor
+    putfield FuzzData f1
+    aload 12
+    monitorexit
+    aload 9
+    aload 9
+    iload 0
+    iload 1
+    imul
+    iconst 4
+    irem
+    iconst 4
+    iadd
+    iconst 4
+    irem
+    iaload
+    iconst 4
+    irem
+    iconst 4
+    iadd
+    iconst 4
+    irem
+    iaload
+    istore 2
+L184:
+    aload 8
+    astore 12
+    aload 12
+    monitorenter
+    getstatic Main acc
+    iconst 27
+    iconst -11
+    iadd
+    i2b
+    if_icmplt L224
+    iconst 88
+    invokestatic Main h1 1 ret
+    aload 9
+    aload 9
+    iload 3
+    iconst 4
+    irem
+    iconst 4
+    iadd
+    iconst 4
+    irem
+    iaload
+    iconst 4
+    irem
+    iconst 4
+    iadd
+    iconst 4
+    irem
+    iaload
+    ishl
+    istore 3
+    fload 5
+    fconst -34.058
+    fload 6
+    fsub
+    fdiv
+    fstore 5
+    aload 7
+    putstatic Main shared
+    goto L238
+L224:
+    getstatic java/lang/System out
+    aload 9
+    getstatic Main acc
+    iconst 4
+    irem
+    iconst 4
+    iadd
+    iconst 4
+    irem
+    iaload
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    aload 7
+    getfield FuzzData f1
+    istore 2
+L238:
+    aload 12
+    monitorexit
+    new FuzzData
+    dup
+    invokespecial FuzzData <init> 0 void
+    astore 8
+    aload 7
+    getstatic Main acc
+    i2b
+    putfield FuzzData f0
+    aload 8
+    iload 4
+    putfield FuzzData f0
+    aload 7
+    iload 0
+    invokevirtual FuzzData bump 1 ret
+    istore 1
+    aload 7
+    getfield FuzzData f0
+    ifge L268
+    iconst 34
+    iconst 66
+    ishr
+    iconst -3
+    iushr
+    aload 7
+    getfield FuzzData f0
+    imul
+    putstatic Main acc
+    goto L268
+L268:
+    aload 8
+    astore 12
+    aload 12
+    monitorenter
+    fconst 50.875
+    fconst -70.217
+    fcmpg
+    aload 7
+    getfield FuzzData f1
+    iconst 1
+    ior
+    idiv
+    putstatic Main acc
+    aload 12
+    monitorexit
+    aload 9
+    aload 9
+    iload 1
+    iconst 4
+    irem
+    iconst 4
+    iadd
+    iconst 4
+    irem
+    iaload
+    fconst 34.456
+    fload 5
+    fcmpg
+    ixor
+    iconst 4
+    irem
+    iconst 4
+    iadd
+    iconst 4
+    irem
+    iconst -39
+    iload 3
+    iand
+    iload 0
+    iconst 2147483647
+    iconst 1
+    ior
+    irem
+    ior
+    iastore
+    aload 7
+    astore 12
+    aload 12
+    monitorenter
+    iconst 3
+    istore 11
+L319:
+    iload 11
+    ifle L335
+    aload 9
+    iload 1
+    iconst 4
+    irem
+    iconst 4
+    iadd
+    iconst 4
+    irem
+    iconst -47
+    iastore
+    iconst -67
+    istore 3
+    iinc 11 -1
+    goto L319
+L335:
+    iconst 255
+    istore 1
+    new FuzzData
+    dup
+    invokespecial FuzzData <init> 0 void
+    astore 8
+    aload 12
+    monitorexit
+    aload 9
+    iconst 47
+    iconst 4
+    irem
+    iconst 4
+    iadd
+    iconst 4
+    irem
+    iaload
+    iload 1
+    ishr
+    iconst 1
+    iload 2
+    iadd
+    fconst -27.149
+    fload 6
+    fcmpl
+    iadd
+    iand
+    putstatic Main acc
+    iconst -15
+    getstatic Main acc
+    imul
+    iconst 3
+    irem
+    iconst 3
+    iadd
+    iconst 3
+    irem
+    tableswitch 0 L373 L379 L430 default L456
+L373:
+    aload 8
+    iconst 21
+    invokevirtual FuzzData bump 1 ret
+    i2b
+    istore 1
+    goto L499
+L379:
+    aload 7
+    astore 12
+    aload 12
+    monitorenter
+    aload 9
+    aload 9
+    iload 0
+    iconst 63
+    ishl
+    iconst 4
+    irem
+    iconst 4
+    iadd
+    iconst 4
+    irem
+    iaload
+    iconst 4
+    irem
+    iconst 4
+    iadd
+    iconst 4
+    irem
+    iconst -8
+    iload 2
+    iconst 1
+    ior
+    irem
+    iconst 33
+    iadd
+    iastore
+    aload 9
+    iload 2
+    iload 1
+    iconst 1
+    ior
+    irem
+    iconst 4
+    irem
+    iconst 4
+    iadd
+    iconst 4
+    irem
+    fload 6
+    fconst 10.016
+    fsub
+    fconst -6.593
+    fcmpl
+    iastore
+    aload 12
+    monitorexit
+    goto L499
+L430:
+    getstatic java/lang/System out
+    iload 1
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    aload 8
+    astore 12
+    aload 12
+    monitorenter
+    iconst -73
+    i2f
+    fconst 64.737
+    fsub
+    fstore 5
+    fconst 66.666
+    fconst -17.968
+    fcmpl
+    iload 0
+    iconst 32
+    iconst 1
+    ior
+    irem
+    iand
+    i2c
+    istore 3
+    aload 12
+    monitorexit
+    goto L499
+L456:
+    aload 7
+    astore 12
+    aload 12
+    monitorenter
+    aload 9
+    getstatic Main acc
+    aload 9
+    iload 2
+    iconst 4
+    irem
+    iconst 4
+    iadd
+    iconst 4
+    irem
+    iaload
+    ishl
+    iconst 4
+    irem
+    iconst 4
+    iadd
+    iconst 4
+    irem
+    iconst 55
+    iastore
+    aload 9
+    aload 7
+    getfield FuzzData f1
+    iconst 4
+    irem
+    iconst 4
+    iadd
+    iconst 4
+    irem
+    iconst -59
+    iconst -71
+    iconst 1
+    ior
+    irem
+    iload 1
+    isub
+    iastore
+    aload 12
+    monitorexit
+L499:
+    getstatic java/lang/System out
+    iload 0
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    getstatic java/lang/System out
+    iload 1
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    getstatic java/lang/System out
+    iload 2
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    getstatic java/lang/System out
+    iload 3
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    getstatic java/lang/System out
+    iload 4
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    getstatic java/lang/System out
+    fload 5
+    fconst 0.5
+    fcmpl
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    getstatic java/lang/System out
+    fload 6
+    fconst 0.5
+    fcmpl
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    getstatic java/lang/System out
+    getstatic Main acc
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    getstatic java/lang/System out
+    aload 7
+    getfield FuzzData f0
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    getstatic java/lang/System out
+    aload 9
+    iconst 0
+    iconst 4
+    irem
+    iconst 4
+    iadd
+    iconst 4
+    irem
+    iaload
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    getstatic java/lang/System out
+    aload 9
+    iconst 3
+    iconst 4
+    irem
+    iconst 4
+    iadd
+    iconst 4
+    irem
+    iaload
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    return
+.end
+
+.class FuzzData
+.field f0 int
+.field f1 int
+.field g0 float
+.method <init>
+    aload 0
+    iconst 7
+    putfield FuzzData f0
+    return
+.end
+.method bump argc=1 returns
+    aload 0
+    aload 0
+    getfield FuzzData f0
+    iload 1
+    iadd
+    putfield FuzzData f0
+    aload 0
+    getfield FuzzData f0
+    ireturn
+.end
+

@@ -1,0 +1,33 @@
+; hand-constructed tricky case: dead store bracketing a native call
+; slot 0 is stored, a native-backed println runs (an optimization
+; barrier: natives may observe memory), then the slot is clobbered
+; without an intervening read -- jit_opt's dead-store elimination must
+; drop only the cost of the store, never the semantics around the call
+.class Corpus
+.field acc int static
+
+.method main static
+    iconst 13
+    istore 0
+    getstatic java/lang/System out
+    iconst 1
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    iconst 99
+    istore 0
+    iconst 21
+    istore 1
+    iload 1
+    putstatic Corpus acc
+    iconst 44
+    istore 1
+    getstatic java/lang/System out
+    iload 0
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    getstatic java/lang/System out
+    iload 1
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    getstatic java/lang/System out
+    getstatic Corpus acc
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    return
+.end

@@ -1,0 +1,42 @@
+; hand-constructed tricky case: elidable-looking lock whose receiver
+; escapes mid-critical-section -- the object is allocated locally (so a
+; naive escape analysis elides its monitor), but it is published to a
+; static field while the lock is held and locked again afterwards; the
+; elision shadow accounting must keep acquire+elided counts exact and
+; report zero violations
+.class Corpus
+.field shared ref static
+.field acc int static
+
+.method <init>
+    return
+.end
+
+.method main static
+    new Corpus
+    dup
+    invokespecial Corpus <init> 0 void
+    astore 0
+    aload 0
+    monitorenter
+    aload 0
+    putstatic Corpus shared
+    getstatic Corpus acc
+    iconst 11
+    iadd
+    putstatic Corpus acc
+    aload 0
+    monitorexit
+    getstatic Corpus shared
+    monitorenter
+    getstatic Corpus acc
+    iconst 3
+    imul
+    putstatic Corpus acc
+    getstatic Corpus shared
+    monitorexit
+    getstatic java/lang/System out
+    getstatic Corpus acc
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    return
+.end

@@ -1,0 +1,44 @@
+; hand-constructed tricky case: monitor held across divergent branches
+; the lock is entered once, both if-arms run while it is held, and the
+; single exit sits after the merge point -- engines that re-derive
+; monitor state per basic block historically miscount here
+.class Corpus
+.field acc int static
+
+.method <init>
+    return
+.end
+
+.method main static
+    new Corpus
+    dup
+    invokespecial Corpus <init> 0 void
+    astore 0
+    aload 0
+    monitorenter
+    getstatic Corpus acc
+    ifle else1
+    iconst 3
+    putstatic Corpus acc
+    goto endif1
+else1:
+    getstatic Corpus acc
+    iconst 5
+    isub
+    putstatic Corpus acc
+endif1:
+    aload 0
+    monitorexit
+    aload 0
+    monitorenter
+    getstatic Corpus acc
+    iconst 2
+    imul
+    putstatic Corpus acc
+    aload 0
+    monitorexit
+    getstatic java/lang/System out
+    getstatic Corpus acc
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    return
+.end

@@ -1,0 +1,46 @@
+; hand-constructed tricky case: tableswitch dispatch feeding a deep
+; operand stack -- each case leaves a different partial sum on a stack
+; that is already four values deep, stressing the JIT's spill handling
+; and the verifier's per-target depth bookkeeping
+.class Corpus
+.field acc int static
+
+.method main static
+    iconst 0
+    istore 0
+loop:
+    iload 0
+    iconst 4
+    if_icmpge done
+    iconst 100
+    iconst 10
+    iconst 1
+    iload 0
+    tableswitch 0 case0 case1 case2 default dflt
+case0:
+    iadd
+    iadd
+    goto join
+case1:
+    isub
+    iadd
+    goto join
+case2:
+    imul
+    iadd
+    goto join
+dflt:
+    iadd
+    isub
+join:
+    getstatic Corpus acc
+    iadd
+    putstatic Corpus acc
+    getstatic java/lang/System out
+    getstatic Corpus acc
+    invokevirtual java/io/PrintStream printlnInt 1 void
+    iinc 0 1
+    goto loop
+done:
+    return
+.end

@@ -30,8 +30,9 @@ _field_values = st.one_of(
     st.lists(st.text(max_size=6), max_size=4),
 )
 _configs = st.dictionaries(
+    # "root" is cache_key's source-tree parameter, not a config field.
     st.text(st.characters(min_codepoint=97, max_codepoint=122),
-            min_size=1, max_size=10),
+            min_size=1, max_size=10).filter(lambda k: k != "root"),
     _field_values,
     min_size=1,
     max_size=6,

@@ -1,13 +1,19 @@
-"""Differential interp-vs-JIT harness.
+"""Differential harness over the full execution-configuration matrix.
 
 Perf claims are only trustworthy on top of a correctness net: for every
-workload the interpreter and the JIT must be *semantically
-indistinguishable* — identical program output, identical heap effects,
-identical synchronization effects.  The runs are deterministic, so any
-divergence is a real bug in one of the execution engines, not noise.
+workload, every pair drawn from interp × jit × jit_opt × lock_elision
+must be *semantically indistinguishable* — identical program output,
+identical heap effects, identical (normalized) synchronization effects.
+The runs are deterministic, so any divergence is a real bug in one of
+the execution engines, not noise.
+
+Random-program coverage of the same matrix lives in ``repro.fuzz``
+(see ``tests/test_fuzz_corpus.py`` for its regression corpus).
 """
 
 from __future__ import annotations
+
+import itertools
 
 import pytest
 
@@ -19,19 +25,83 @@ WORKLOADS = sorted(all_workloads())
 #: s0 covers every workload; s1 re-checks everything at the paper's scale.
 SCALES = ("s0", "s1")
 
+#: The full configuration matrix: name -> run_vm keyword arguments.
+CONFIGS = {
+    "interp": {"mode": "interp"},
+    "jit": {"mode": "jit"},
+    "jit_opt": {"mode": "jit", "jit_opt": True},
+    "lock_elision": {"mode": "jit", "lock_elision": True},
+}
 
-def _observables(result) -> dict:
-    """The mode-independent facts of one run."""
-    return {
+CONFIG_PAIRS = list(itertools.combinations(CONFIGS, 2))
+
+#: Per-(workload, config) cycle counts recorded by the matrix test.
+CYCLE_RECORD: dict[tuple[str, str], int] = {}
+
+
+def _observables(result, elision: bool = False) -> dict:
+    """The mode-independent facts of one run.
+
+    ``elision`` selects the normalized sync view: a lock-elision run
+    legitimately skips monitor operations, but every skip is shadowed
+    (``elided_*``), so acquire/release totals fold the elided ops back
+    in, and the per-case breakdown — which elision genuinely changes —
+    is only compared between non-eliding configurations.
+    """
+    sync = result.sync
+    obs = {
         "stdout": result.stdout,
         "bytecodes": result.bytecodes_executed,
         "classes_loaded": result.classes_loaded,
         "heap": result.heap,
-        "sync_cases": result.sync["case_counts"],
-        "sync_acquires": result.sync["acquire_ops"],
-        "sync_releases": result.sync["release_ops"],
-        "sync_objects": result.sync["distinct_objects"],
+        "sync_acquires": sync["acquire_ops"] + sync.get("elided_acquires", 0),
+        "sync_releases": sync["release_ops"] + sync.get("elided_releases", 0),
     }
+    if not elision:
+        obs["sync_cases"] = sync["case_counts"]
+        obs["sync_objects"] = sync["distinct_objects"]
+    return obs
+
+
+def _run(workload: str, scale: str, config: str):
+    result = run_vm(workload, scale=scale, **CONFIGS[config])
+    CYCLE_RECORD[(f"{workload}@{scale}", config)] = result.cycles
+    return result
+
+
+@pytest.mark.parametrize("left,right", CONFIG_PAIRS,
+                         ids=[f"{a}-vs-{b}" for a, b in CONFIG_PAIRS])
+@pytest.mark.parametrize("workload", WORKLOADS)
+class TestConfigMatrix:
+    """Every configuration pair, every workload, at s0."""
+
+    def test_pair_semantically_equivalent(self, workload, left, right):
+        elision = "lock_elision" in (left, right)
+        lo = _observables(_run(workload, "s0", left), elision)
+        ro = _observables(_run(workload, "s0", right), elision)
+        for key in lo:
+            assert lo[key] == ro[key], (
+                f"{workload}@s0: {left}/{right} diverge on {key}: "
+                f"{lo[key]!r} != {ro[key]!r}"
+            )
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_elision_reports_no_violations(workload):
+    result = _run(workload, "s0", "lock_elision")
+    assert result.sync.get("elision_violations", 0) == 0
+
+
+def test_cycle_counts_recorded_for_all_configs():
+    """The matrix run doubles as the per-config cycle census: every
+    (workload, config) cell must hold a positive recorded cycle count,
+    so regressions in any engine's cost accounting surface here."""
+    for workload in WORKLOADS:
+        for config in CONFIGS:
+            cycles = CYCLE_RECORD.get((f"{workload}@s0", config))
+            if cycles is None:       # populate (e.g. under -k selection)
+                cycles = _run(workload, "s0", config).cycles
+            assert cycles > 0, f"{workload}/{config} recorded no cycles"
 
 
 @pytest.mark.parametrize("scale", SCALES)

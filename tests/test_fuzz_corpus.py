@@ -1,0 +1,55 @@
+"""Regression corpus replay.
+
+Every ``tests/fuzz_corpus/*.asm`` is a minimized fuzz reproducer or a
+hand-constructed tricky case.  Each is replayed under the full
+execution-configuration matrix on every test run: once a divergence is
+fixed (or a tricky shape is known), it must stay fixed forever.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.oracle import run_oracle
+from repro.isa.asm import assemble
+
+CORPUS = Path(__file__).parent / "fuzz_corpus"
+CASES = sorted(CORPUS.glob("*.asm"))
+
+
+class AsmCase:
+    """Adapter: an .asm file as an oracle-runnable spec."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+
+    def render(self, verify: bool = True):
+        return assemble(self.text)
+
+
+def test_corpus_is_seeded():
+    assert len(CASES) >= 3, "fuzz corpus must hold at least 3 reproducers"
+
+
+@pytest.mark.parametrize("path", CASES, ids=lambda p: p.stem)
+def test_corpus_case_replays_clean(path):
+    case = AsmCase(path.read_text())
+    verdict = run_oracle(case)
+    errors = {c: o.error for c, o in verdict.outcomes.items() if o.error}
+    assert not errors, f"{path.name}: config errors {errors}"
+    assert verdict.agreed, (
+        f"{path.name}: configurations diverge: "
+        + "; ".join(str(d) for d in verdict.divergences)
+    )
+    # The case must actually exercise the engines to pin anything.
+    interp = verdict.outcomes["interp"].result
+    assert interp.stdout, f"{path.name} produced no observable output"
+
+
+@pytest.mark.parametrize("path", CASES, ids=lambda p: p.stem)
+def test_corpus_case_is_commented(path):
+    """Each reproducer must say what it pins (header comment)."""
+    first = path.read_text().lstrip().splitlines()[0]
+    assert first.startswith(";"), f"{path.name} lacks a header comment"
