@@ -27,6 +27,7 @@ from ..vm.strategy import (
     InterpretOnly,
     OracleStrategy,
     Strategy,
+    TieredStrategy,
 )
 from ..workloads.base import get_workload
 from . import cache
@@ -45,8 +46,18 @@ def make_strategy(mode, oracle_set=None) -> Strategy:
         return CompileOnFirstUse()
     if mode == "oracle":
         return OracleStrategy(oracle_set or set())
+    if mode == "tiered":
+        return TieredStrategy()
     if isinstance(mode, tuple) and mode[0] == "counter":
         return CounterThreshold(mode[1])
+    if isinstance(mode, tuple) and mode[0] == "tiered":
+        t1, t2, osr = mode[1], mode[2], mode[3]
+        kwargs = {}
+        if len(mode) > 4:                       # optional compile_ratio
+            kwargs["compile_ratio"] = mode[4]
+        return TieredStrategy(t1_invocations=t1, t2_invocations=t2,
+                              osr_backedges=osr, t2_backedges=8 * osr,
+                              **kwargs)
     raise ValueError(f"unknown mode {mode!r}")
 
 
@@ -57,6 +68,11 @@ def mode_token(mode) -> str | None:
         return mode
     if isinstance(mode, tuple) and len(mode) == 2 and mode[0] == "counter":
         return f"counter{int(mode[1])}"
+    if isinstance(mode, tuple) and mode[0] == "tiered" and len(mode) in (4, 5):
+        token = "tiered{}-{}-{}".format(*(int(v) for v in mode[1:4]))
+        if len(mode) == 5:
+            token += f"-r{float(mode[4]):g}"
+        return token
     return None
 
 

@@ -141,4 +141,5 @@ def _ensure_imported() -> None:
         table2,
         table3,
         ablations,
+        tiered,
     )

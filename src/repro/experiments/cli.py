@@ -35,8 +35,9 @@ DEFAULT_ORDER = (
     "fig1", "table1", "fig2", "fig11",
     "table2", "table3", "fig3", "fig4", "fig5", "fig6",
     "fig7", "fig8", "fig9", "fig10",
-    "locality", "scale_study",
-    "ablation_strategy", "ablation_install", "ablation_locks",
+    "locality", "scale_study", "tiered",
+    "ablation_strategy", "ablation_tiered", "ablation_install",
+    "ablation_locks",
     "ablation_inline", "ablation_indirect", "ablation_folding",
     "ablation_victim",
 )

@@ -28,14 +28,24 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..isa.method import Program
-from ..vm import CompileOnFirstUse, InterpretOnly, JavaVM, VMResult
+from ..vm import (
+    CompileOnFirstUse,
+    InterpretOnly,
+    JavaVM,
+    TieredStrategy,
+    VMResult,
+)
 from .gen import FUEL, ProgramSpec
 
-#: The execution-configuration matrix, in comparison order.
-CONFIGS = ("interp", "jit", "jit_opt", "lock_elision")
+#: The execution-configuration matrix, in comparison order.  ``tiered``
+#: runs the online ladder with deliberately hair-trigger thresholds and
+#: the tier-2 benefit screen off, so promotion, OSR, speculation and
+#: deoptimization all fire inside even small generated programs.
+CONFIGS = ("interp", "jit", "jit_opt", "lock_elision", "tiered")
 
-#: Config pairs whose sync comparison must use elision-normalized keys.
-_ELISION = "lock_elision"
+#: Configs whose sync comparison must use elision-normalized keys
+#: (tier 2 elides speculatively, so ``tiered`` belongs here too).
+_ELISION = frozenset({"lock_elision", "tiered"})
 
 #: Default headroom for the performance oracles (fraction).
 DEFAULT_TOLERANCE = 0.02
@@ -56,6 +66,10 @@ def _make_vm(program: Program, config: str) -> JavaVM:
     if config == "lock_elision":
         return JavaVM(program, strategy=CompileOnFirstUse(),
                       lock_elision=True)
+    if config == "tiered":
+        return JavaVM(program, strategy=TieredStrategy(
+            t1_invocations=2, t2_invocations=3, osr_backedges=4,
+            t2_backedges=8, compile_ratio=0.01, t2_screen=False))
     raise ValueError(f"unknown config {config!r}")
 
 
@@ -207,10 +221,9 @@ def _compare(left: Outcome, right: Outcome) -> list[Divergence]:
                                left.error or "completed",
                                right.error or "completed")]
         return []
-    lo = observables(left.result, elision=_ELISION in (left.config,
-                                                       right.config))
-    ro = observables(right.result, elision=_ELISION in (left.config,
-                                                        right.config))
+    eliding = bool(_ELISION & {left.config, right.config})
+    lo = observables(left.result, elision=eliding)
+    ro = observables(right.result, elision=eliding)
     return [
         Divergence(left.config, right.config, key, lo[key], ro[key])
         for key in lo if lo[key] != ro[key]

@@ -11,8 +11,10 @@ from .strategy import (
     InterpretOnly,
     OracleStrategy,
     Strategy,
+    TieredStrategy,
 )
 from .threads import Frame, JThread
+from .tiering import TieredController
 
 __all__ = [
     "CompileOnFirstUse",
@@ -33,6 +35,8 @@ __all__ = [
     "OutOfMemoryError",
     "Profiler",
     "Strategy",
+    "TieredController",
+    "TieredStrategy",
     "VMError",
     "VMResult",
 ]

@@ -60,6 +60,10 @@ class ClassLoader:
         self.resolution_count = 0
         self.overhead_cycles = 0   # loader/resolver cycles charged to trace
         self.methods_by_id: list[Method] = []
+        #: Optional callback invoked after each class finishes loading
+        #: (the tiered controller hooks this to invalidate loaded-world
+        #: CHA speculation before the new class can be dispatched on).
+        self.on_load = None
 
     # ------------------------------------------------------------------
     # loading
@@ -81,6 +85,8 @@ class ClassLoader:
         self._emit_load_trace(cls)
         self.overhead_cycles += self.sink.cycles - before
         self.classes_loaded += 1
+        if self.on_load is not None:
+            self.on_load(cls)
         return cls
 
     def _alloc_meta(self, nbytes: int) -> int:

@@ -46,6 +46,7 @@ class Interpreter:
         self.tpls = shared_templates()
         self.stubs = vm.stubs
         self.loader = vm.loader
+        self.tiered = vm.tiered
         self._handlers = self._build_dispatch()
 
     # ------------------------------------------------------------------
@@ -77,7 +78,17 @@ class Interpreter:
                 delta = (sink.cycles - cycles_before) - (
                     vm.overhead_cycles - overhead_before
                 )
-                profiler.charge(frame, delta)
+                if delta > 0:
+                    # The frame caches its MethodProfile at push time, so
+                    # attribution is slot access — no per-bytecode dict
+                    # lookup on the method.
+                    p = frame.profile
+                    if p is None:
+                        p = frame.profile = profiler.profile_for(frame.method)
+                    if frame.emit_mode == EMIT_INTERP:
+                        p.interp_cycles += delta
+                    else:
+                        p.compiled_cycles += delta
         thread.bytecodes_executed += executed
         if not thread.frames and thread.state == RUNNABLE:
             vm.finish_thread(thread)
@@ -231,7 +242,7 @@ class Interpreter:
         mode = frame.emit_mode
         if mode == EMIT_INTERP:
             self.sink.emit(self.tpls.tpl[Op.NOP], (self._bc_ea(frame),))
-        elif mode == EMIT_COMPILED:
+        elif mode >= EMIT_COMPILED:
             self._emit_chunk(frame)
 
     def _op_iconst(self, thread, frame, instr):
@@ -241,7 +252,7 @@ class Interpreter:
         if mode == EMIT_INTERP:
             self.sink.emit(self.tpls.tpl[Op.ICONST],
                            (self._bc_ea(frame), frame.slot_addr(d)))
-        elif mode == EMIT_COMPILED:
+        elif mode >= EMIT_COMPILED:
             self._emit_chunk(frame)
 
     def _op_fconst(self, thread, frame, instr):
@@ -251,7 +262,7 @@ class Interpreter:
         if mode == EMIT_INTERP:
             self.sink.emit(self.tpls.tpl[Op.FCONST],
                            (self._bc_ea(frame), frame.slot_addr(d)))
-        elif mode == EMIT_COMPILED:
+        elif mode >= EMIT_COMPILED:
             self._emit_chunk(frame)
 
     def _op_aconst_null(self, thread, frame, instr):
@@ -261,7 +272,7 @@ class Interpreter:
         if mode == EMIT_INTERP:
             self.sink.emit(self.tpls.tpl[Op.ACONST_NULL],
                            (self._bc_ea(frame), frame.slot_addr(d)))
-        elif mode == EMIT_COMPILED:
+        elif mode >= EMIT_COMPILED:
             self._emit_chunk(frame)
 
     def _op_ldc(self, thread, frame, instr):
@@ -278,7 +289,7 @@ class Interpreter:
                 (self._bc_ea(frame), self._pool_ea(frame, instr.a),
                  frame.slot_addr(d)),
             )
-        elif mode == EMIT_COMPILED:
+        elif mode >= EMIT_COMPILED:
             self._emit_chunk(frame)
 
     # -- locals ----------------------------------------------------------
@@ -292,7 +303,7 @@ class Interpreter:
                 (self._bc_ea(frame), frame.local_addr(instr.a),
                  frame.slot_addr(d)),
             )
-        elif mode == EMIT_COMPILED:
+        elif mode >= EMIT_COMPILED:
             self._emit_chunk(frame)
 
     def _op_store_local(self, thread, frame, instr):
@@ -306,7 +317,7 @@ class Interpreter:
                 (self._bc_ea(frame), frame.slot_addr(d),
                  frame.local_addr(instr.a)),
             )
-        elif mode == EMIT_COMPILED:
+        elif mode >= EMIT_COMPILED:
             self._emit_chunk(frame)
 
     def _op_iinc(self, thread, frame, instr):
@@ -316,7 +327,7 @@ class Interpreter:
             ea = frame.local_addr(instr.a)
             self.sink.emit(self.tpls.tpl[Op.IINC],
                            (self._bc_ea(frame), ea, ea))
-        elif mode == EMIT_COMPILED:
+        elif mode >= EMIT_COMPILED:
             self._emit_chunk(frame)
 
     # -- operand stack -----------------------------------------------------
@@ -325,7 +336,7 @@ class Interpreter:
         mode = frame.emit_mode
         if mode == EMIT_INTERP:
             self.sink.emit(self.tpls.tpl[Op.POP], (self._bc_ea(frame),))
-        elif mode == EMIT_COMPILED:
+        elif mode >= EMIT_COMPILED:
             self._emit_chunk(frame)
 
     def _op_dup(self, thread, frame, instr):
@@ -338,7 +349,7 @@ class Interpreter:
                 (self._bc_ea(frame), frame.slot_addr(d - 1),
                  frame.slot_addr(d)),
             )
-        elif mode == EMIT_COMPILED:
+        elif mode >= EMIT_COMPILED:
             self._emit_chunk(frame)
 
     def _op_dup_x1(self, thread, frame, instr):
@@ -353,7 +364,7 @@ class Interpreter:
                 self.tpls.tpl[Op.DUP_X1],
                 (self._bc_ea(frame), s(d + 1), s(d), s(d), s(d + 1), s(d + 2)),
             )
-        elif mode == EMIT_COMPILED:
+        elif mode >= EMIT_COMPILED:
             self._emit_chunk(frame)
 
     def _op_swap(self, thread, frame, instr):
@@ -367,7 +378,7 @@ class Interpreter:
                 self.tpls.tpl[Op.SWAP],
                 (self._bc_ea(frame), s(d - 1), s(d - 2), s(d - 1), s(d - 2)),
             )
-        elif mode == EMIT_COMPILED:
+        elif mode >= EMIT_COMPILED:
             self._emit_chunk(frame)
 
     # -- arithmetic -----------------------------------------------------------
@@ -404,7 +415,7 @@ class Interpreter:
                 self.tpls.tpl[instr.op],
                 (self._bc_ea(frame), s(d), s(d + 1), s(d)),
             )
-        elif mode == EMIT_COMPILED:
+        elif mode >= EMIT_COMPILED:
             self._emit_chunk(frame)
 
     _UNOPS = {
@@ -426,7 +437,7 @@ class Interpreter:
             s = frame.slot_addr
             self.sink.emit(self.tpls.tpl[instr.op],
                            (self._bc_ea(frame), s(d - 1), s(d - 1)))
-        elif mode == EMIT_COMPILED:
+        elif mode >= EMIT_COMPILED:
             self._emit_chunk(frame)
 
     def _op_fcmp(self, thread, frame, instr):
@@ -440,7 +451,7 @@ class Interpreter:
             s = frame.slot_addr
             self.sink.emit(self.tpls.tpl[instr.op],
                            (self._bc_ea(frame), s(d), s(d + 1), s(d)))
-        elif mode == EMIT_COMPILED:
+        elif mode >= EMIT_COMPILED:
             self._emit_chunk(frame)
 
     # -- control flow -----------------------------------------------------------
@@ -468,12 +479,14 @@ class Interpreter:
                 (m.bc_addr + m.bc_offsets[idx], frame.slot_addr(d)),
                 (taken,),
             )
-        elif mode == EMIT_COMPILED:
+        elif mode >= EMIT_COMPILED:
             chunk = frame.chunks[idx]
             if chunk is not None:
                 chunk.emit(self.sink, frame, (), (taken,))
         if taken:
             frame.ip = instr.a
+            if instr.a <= idx and self.tiered is not None:
+                self.tiered.on_backedge(thread, frame)
 
     _IF2_TESTS = {
         Op.IF_ICMPEQ: lambda a, b: a == b,
@@ -502,12 +515,14 @@ class Interpreter:
                 (m.bc_addr + m.bc_offsets[idx], s(d), s(d + 1)),
                 (taken,),
             )
-        elif mode == EMIT_COMPILED:
+        elif mode >= EMIT_COMPILED:
             chunk = frame.chunks[idx]
             if chunk is not None:
                 chunk.emit(self.sink, frame, (), (taken,))
         if taken:
             frame.ip = instr.a
+            if instr.a <= idx and self.tiered is not None:
+                self.tiered.on_backedge(thread, frame)
 
     def _op_goto(self, thread, frame, instr):
         idx = frame.ip - 1
@@ -516,11 +531,13 @@ class Interpreter:
             m = frame.method
             self.sink.emit(self.tpls.tpl[Op.GOTO],
                            (m.bc_addr + m.bc_offsets[idx],))
-        elif mode == EMIT_COMPILED:
+        elif mode >= EMIT_COMPILED:
             chunk = frame.chunks[idx]
             if chunk is not None:
                 chunk.emit(self.sink, frame)
         frame.ip = instr.a
+        if instr.a <= idx and self.tiered is not None:
+            self.tiered.on_backedge(thread, frame)
 
     def _op_tableswitch(self, thread, frame, instr):
         key = frame.stack.pop()
@@ -549,7 +566,7 @@ class Interpreter:
                 self.tpls.tpl[instr.op],
                 (bc, key_ea, table_ea),
             )
-        elif mode == EMIT_COMPILED:
+        elif mode >= EMIT_COMPILED:
             chunk = frame.chunks[frame.ip - 1]
             target_pc = self._chunk_pc(frame, target)
             if chunk is not None:
@@ -578,7 +595,7 @@ class Interpreter:
                 (self._bc_ea(frame), self._pool_ea(frame, instr.a),
                  declarer.static_addr[name], frame.slot_addr(d)),
             )
-        elif mode == EMIT_COMPILED:
+        elif mode >= EMIT_COMPILED:
             self._emit_chunk(frame)
 
     def _op_putstatic(self, thread, frame, instr):
@@ -593,7 +610,7 @@ class Interpreter:
                 (self._bc_ea(frame), self._pool_ea(frame, instr.a),
                  frame.slot_addr(d), declarer.static_addr[name]),
             )
-        elif mode == EMIT_COMPILED:
+        elif mode >= EMIT_COMPILED:
             self._emit_chunk(frame)
 
     def _op_getfield(self, thread, frame, instr):
@@ -613,7 +630,7 @@ class Interpreter:
                 (self._bc_ea(frame), self._pool_ea(frame, instr.a),
                  frame.slot_addr(d), field_ea, frame.slot_addr(d)),
             )
-        elif mode == EMIT_COMPILED:
+        elif mode >= EMIT_COMPILED:
             self._emit_chunk(frame, (field_ea,))
 
     def _op_putfield(self, thread, frame, instr):
@@ -633,7 +650,7 @@ class Interpreter:
                 (self._bc_ea(frame), self._pool_ea(frame, instr.a),
                  frame.slot_addr(d + 1), frame.slot_addr(d), field_ea),
             )
-        elif mode == EMIT_COMPILED:
+        elif mode >= EMIT_COMPILED:
             self._emit_chunk(frame, (field_ea,))
 
     # ------------------------------------------------------------------
@@ -644,6 +661,8 @@ class Interpreter:
         obj = self.vm.heap.new_object(cls)
         if self.vm.lock_elision:
             self._mark_thread_local(thread, frame, obj)
+        elif self.tiered is not None:
+            self.tiered.mark_allocation(thread, frame, obj)
         d = len(frame.stack)
         frame.stack.append(obj)
         self._emit_alloc(frame, instr, obj, frame.slot_addr(d))
@@ -653,6 +672,8 @@ class Interpreter:
         arr = self.vm.heap.new_array(ArrayType(instr.a), length)
         if self.vm.lock_elision:
             self._mark_thread_local(thread, frame, arr)
+        elif self.tiered is not None:
+            self.tiered.mark_allocation(thread, frame, arr)
         d = len(frame.stack)
         frame.stack.append(arr)
         self._emit_alloc(frame, instr, arr, frame.slot_addr(d))
@@ -663,6 +684,8 @@ class Interpreter:
         arr = self.vm.heap.new_array("ref", length, ref_class=cls)
         if self.vm.lock_elision:
             self._mark_thread_local(thread, frame, arr)
+        elif self.tiered is not None:
+            self.tiered.mark_allocation(thread, frame, arr)
         d = len(frame.stack)
         frame.stack.append(arr)
         self._emit_alloc(frame, instr, arr, frame.slot_addr(d))
@@ -687,7 +710,7 @@ class Interpreter:
                 (),
                 (stubs.alloc_entry.base_pc,),
             )
-        elif mode == EMIT_COMPILED:
+        elif mode >= EMIT_COMPILED:
             self._emit_chunk(frame, (), (), (stubs.alloc_entry.base_pc,))
         if mode != EMIT_NONE:
             stubs.emit_alloc(self.sink, obj.addr, obj.byte_size)
@@ -708,7 +731,7 @@ class Interpreter:
                 (self._bc_ea(frame), frame.slot_addr(d), arr.addr + 8,
                  frame.slot_addr(d)),
             )
-        elif mode == EMIT_COMPILED:
+        elif mode >= EMIT_COMPILED:
             self._emit_chunk(frame, (arr.addr + 8,))
 
     _ARRAY_STORE_COERCE = {
@@ -737,7 +760,7 @@ class Interpreter:
                 (self._bc_ea(frame), s(d + 1), s(d), arr.addr + 8,
                  elem_ea, s(d)),
             )
-        elif mode == EMIT_COMPILED:
+        elif mode >= EMIT_COMPILED:
             self._emit_chunk(frame, (arr.addr + 8, elem_ea))
 
     def _op_array_store(self, thread, frame, instr):
@@ -759,7 +782,7 @@ class Interpreter:
                 (self._bc_ea(frame), s(d + 2), s(d + 1), s(d),
                  arr.addr + 8, elem_ea),
             )
-        elif mode == EMIT_COMPILED:
+        elif mode >= EMIT_COMPILED:
             self._emit_chunk(frame, (arr.addr + 8, elem_ea))
 
     # ------------------------------------------------------------------
@@ -794,7 +817,7 @@ class Interpreter:
             if op is Op.INSTANCEOF:
                 eas = eas + (frame.slot_addr(d - 1),)
             self.sink.emit(self.tpls.tpl[op], eas)
-        elif mode == EMIT_COMPILED:
+        elif mode >= EMIT_COMPILED:
             self._emit_chunk(frame, (hdr,))
 
     # ------------------------------------------------------------------
@@ -827,7 +850,7 @@ class Interpreter:
                 (),
                 (self.stubs.interp_entry_pc,),
             )
-        elif mode == EMIT_COMPILED:
+        elif mode >= EMIT_COMPILED:
             self._emit_chunk(frame, (), (), (self.stubs.interp_entry_pc,))
 
     # ------------------------------------------------------------------
@@ -882,14 +905,20 @@ class Interpreter:
 
         compiled = vm.prepare_method(target)
         callee = thread.push_frame(target)
+        if vm.profiler is not None:
+            callee.profile = vm.profiler.profile_for(target)
         for i, value in enumerate(args):
             callee.locals[i] = value
         callee.sync_obj = sync_obj
 
         caller_mode = frame.emit_mode
         inline_site = None
-        if caller_mode == EMIT_COMPILED and frame.compiled is not None:
+        if caller_mode >= EMIT_COMPILED and frame.compiled is not None:
             inline_site = frame.compiled.inline_info.get(frame.ip - 1)
+            if inline_site is not None and inline_site.target is not target:
+                # Speculatively devirtualized site whose dynamic target
+                # diverged (deopt is in flight): fall back to a real call.
+                inline_site = None
         if inline_site is not None:
             callee.emit_mode = EMIT_NONE
             dyn = tuple(receiver.addr + off for off in inline_site.field_offsets)
@@ -917,7 +946,7 @@ class Interpreter:
 
     def _return_site(self, frame) -> int:
         """Native pc execution resumes at when the callee returns."""
-        if frame.emit_mode == EMIT_COMPILED:
+        if frame.emit_mode >= EMIT_COMPILED:
             chunk = frame.chunks[frame.ip - 1]
             if chunk is not None:
                 return chunk.template.end_pc
@@ -928,7 +957,7 @@ class Interpreter:
         mode = frame.emit_mode
         if mode == EMIT_NONE:
             return
-        if mode == EMIT_COMPILED:
+        if mode >= EMIT_COMPILED:
             if op is Op.INVOKEVIRTUAL:
                 self._emit_chunk(
                     frame,
@@ -999,7 +1028,7 @@ class Interpreter:
             eas.append(callee_locals_base)
             self.sink.emit(self.tpls.tpl[key], tuple(eas),
                            (), (self.stubs.region.base,))
-        elif mode == EMIT_COMPILED:
+        elif mode >= EMIT_COMPILED:
             if instr.op is Op.INVOKEVIRTUAL:
                 self._emit_chunk(frame, (receiver.addr, target.meta_addr),
                                  (), (self.stubs.region.base,))
@@ -1064,5 +1093,5 @@ class Interpreter:
                     (),
                     (frame.return_pc,),
                 )
-        elif mode == EMIT_COMPILED:
+        elif mode >= EMIT_COMPILED:
             self._emit_chunk(frame, (), (), (frame.return_pc,))

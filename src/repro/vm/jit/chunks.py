@@ -59,6 +59,8 @@ class CompiledMethod:
         "code_bytes",
         "inline_info",
         "translate_cycles",
+        "tier",
+        "assumptions",
     )
 
     def __init__(self, method, chunks, prologue, entry_pc, end_pc,
@@ -72,6 +74,11 @@ class CompiledMethod:
         #: instruction index -> InlineSite for inlined call sites
         self.inline_info = inline_info or {}
         self.translate_cycles = 0       # filled by the compiler
+        #: compilation tier (0 = the single-tier legacy JIT)
+        self.tier = 0
+        #: speculative CHA facts this code depends on:
+        #: (class_name, method_name, assumed_target) triples
+        self.assumptions: tuple = ()
 
     @property
     def n_native_instructions(self) -> int:

@@ -92,30 +92,62 @@ class JITCompiler:
         self.dead_stores_eliminated = 0
         self.spill_stores_eliminated = 0
         self._skip_spill = False
+        # Per-compile tiering state (reset by compile()).
+        self._opt_override: bool | None = None
+        self._speculate_cha = False
+        self._cha_blacklist: frozenset = frozenset()
+        self._assumptions: list = []
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
-    def compile(self, method: Method) -> CompiledMethod:
+    def compile(self, method: Method, tier: int = 0,
+                optimize: bool | None = None,
+                speculate_cha: bool = False,
+                cha_blacklist: frozenset = frozenset()) -> CompiledMethod:
         """Translate one method, charge the work to the trace, install.
+
+        The tiered engine parameterizes each translation: ``optimize``
+        overrides the VM-wide flag (tier 1 compiles baseline code even
+        in an optimizing VM; tier 2 always optimizes), ``speculate_cha``
+        lets devirtualization use loaded-world CHA (recorded as
+        assumptions on the :class:`CompiledMethod` for invalidation),
+        and ``cha_blacklist`` names call targets whose speculation
+        already failed once.
 
         With the tracer on, each translation is a ``vm.jit.translate``
         span — the wall-clock counterpart of the simulated
         translate-cycles the paper's Figure 1 accounts for.
         """
-        if not TRACER.enabled:
-            return self._translate(method)
-        with TRACER.span("vm.jit.translate",
-                         method=method.qualified_name) as sp:
-            compiled = self._translate(method)
-            sp.attrs["translate_cycles"] = compiled.translate_cycles
-            sp.attrs["bytecodes"] = len(method.code)
-        return compiled
+        self._opt_override = optimize
+        self._speculate_cha = speculate_cha
+        self._cha_blacklist = cha_blacklist
+        self._assumptions = []
+        try:
+            if not TRACER.enabled:
+                compiled = self._translate(method)
+            else:
+                with TRACER.span("vm.jit.translate",
+                                 method=method.qualified_name,
+                                 tier=tier) as sp:
+                    compiled = self._translate(method)
+                    sp.attrs["translate_cycles"] = compiled.translate_cycles
+                    sp.attrs["bytecodes"] = len(method.code)
+            compiled.tier = tier
+            compiled.assumptions = tuple(self._assumptions)
+            return compiled
+        finally:
+            self._opt_override = None
+            self._speculate_cha = False
+            self._cha_blacklist = frozenset()
+            self._assumptions = []
 
     def _translate(self, method: Method) -> CompiledMethod:
         assert not method.is_native, "native methods are never JIT-compiled"
         dead, pop_only = frozenset(), frozenset()
-        if self.optimize_enabled:
+        optimize = (self.optimize_enabled if self._opt_override is None
+                    else self._opt_override)
+        if optimize:
             # Liveness-driven DSE: stores whose local is never read again
             # and pushes only ever consumed by POP produce no native code.
             # Execution semantics live in the interpreter's handlers, so
@@ -506,8 +538,19 @@ class JITCompiler:
         self._skip_spill = False
         ref = method.pool[instr.a]
         op = instr.op
+        speculative = False
         if op is Op.INVOKEVIRTUAL:
             target = self.hierarchy.unique_target(ref.class_name, ref.method_name)
+            if (target is None and self._speculate_cha
+                    and (ref.class_name, ref.method_name)
+                    not in self._cha_blacklist):
+                # Closed-world CHA sees several implementations, but only
+                # one is loaded so far: devirtualize speculatively and
+                # record the assumption.  Loading an overriding class
+                # later triggers deoptimization of this method.
+                target = self.hierarchy.unique_loaded_target(
+                    ref.class_name, ref.method_name)
+                speculative = target is not None
         else:
             try:
                 target = self.loader.resolve_method(method.jclass, instr.a)
@@ -590,6 +633,9 @@ class JITCompiler:
             else:  # pragma: no cover - is_inlinable filters these out
                 return None
 
+        if speculative:
+            self._assumptions.append(
+                (ref.class_name, ref.method_name, target))
         return InlineSite(target, dyn_offsets), protos
 
     def _inline_field_off(self, target, c_instr) -> int:

@@ -58,6 +58,23 @@ class ClassHierarchy:
             return targets.pop()
         return None
 
+    def unique_loaded_target(self, class_name: str,
+                             method_name: str) -> Method | None:
+        """Open-world CHA: the single implementation among *loaded*
+        classes.  Unlike :meth:`unique_target` this is a speculation —
+        loading an overriding class later invalidates it, so callers
+        must register the assumption for deoptimization."""
+        targets = set()
+        for cls in self.subclasses(class_name):
+            if not cls.loaded:
+                continue
+            m = cls.find_method(method_name)
+            if m is not None:
+                targets.add(m)
+        if len(targets) == 1:
+            return targets.pop()
+        return None
+
 
 def is_inlinable(method: Method) -> bool:
     """A body the template JIT can splice into a call site.

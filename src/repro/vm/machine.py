@@ -24,17 +24,19 @@ from .jit.inline import ClassHierarchy
 from .objects import JObject, JString
 from .profiler import Profiler
 from .stubs import shared_stubs
-from .strategy import CompileOnFirstUse, InterpretOnly, Strategy
+from .strategy import CompileOnFirstUse, InterpretOnly, Strategy, TieredStrategy
 from .threads import (
     BLOCKED,
     EMIT_COMPILED,
     EMIT_INTERP,
     EMIT_NONE,
+    EMIT_OSR,
     FINISHED,
     JThread,
     RUNNABLE,
     WAITING,
 )
+from .tiering import TieredController
 
 
 class DeadlockError(Exception):
@@ -65,6 +67,8 @@ class VMResult:
         self.sync_cycles = vm.lock_manager.stats.cycles
         self.heap = vm.heap.stats.snapshot()
         self.profiles = vm.profiler.snapshot() if vm.profiler else {}
+        self.strategy_config = vm.strategy.describe()
+        self.tiering = vm.tiered.snapshot() if vm.tiered else None
         self.opcode_counts = vm.opcode_counts.copy()
         self.footprint = vm.footprint()
         self.stdout = list(vm.stdout)
@@ -138,6 +142,15 @@ class JavaVM:
         self._escape_summaries = None
         self._elision_plan: dict[int, frozenset] = {}
         self.profiler = Profiler() if profile else None
+        if isinstance(self.strategy, TieredStrategy):
+            # Tiering is profile-driven: the controller needs invocation
+            # and backedge counts regardless of the profile flag.
+            if self.profiler is None:
+                self.profiler = Profiler()
+            self.tiered = TieredController(self, self.strategy)
+            self.loader.on_load = self.tiered.on_class_loaded
+        else:
+            self.tiered = None
         self.interp = Interpreter(self)
         self.quantum = quantum
         self.max_bytecodes = max_bytecodes
@@ -151,9 +164,10 @@ class JavaVM:
         self.stdout: list[str] = []
         # Per-emit-mode dispatch wall time / bytecode counts, filled by
         # the traced stepper (observability only; empty when tracing is
-        # off).  Indexed by EMIT_NONE / EMIT_INTERP / EMIT_COMPILED.
-        self.dispatch_seconds = [0.0, 0.0, 0.0]
-        self.dispatch_counts = [0, 0, 0]
+        # off).  Indexed by EMIT_NONE / EMIT_INTERP / EMIT_COMPILED /
+        # EMIT_OSR.
+        self.dispatch_seconds = [0.0, 0.0, 0.0, 0.0]
+        self.dispatch_counts = [0, 0, 0, 0]
         self._interned: dict[str, JString] = {}
         self._compiled: dict[int, object] = {}   # method_id -> CompiledMethod
         self._translate_overhead = 0
@@ -211,6 +225,8 @@ class JavaVM:
         return frame
 
     def _set_entry_mode(self, frame, method) -> None:
+        if self.profiler:
+            frame.profile = self.profiler.profile_for(method)
         compiled = self.prepare_method(method, count=False)
         if compiled is not None:
             frame.emit_mode = EMIT_COMPILED
@@ -239,8 +255,10 @@ class JavaVM:
             TRACER.emit("vm.interp.dispatch", seconds[EMIT_INTERP],
                         bytecodes=counts[EMIT_INTERP])
             TRACER.emit("vm.jit.execute",
-                        seconds[EMIT_COMPILED] + seconds[EMIT_NONE],
-                        bytecodes=counts[EMIT_COMPILED] + counts[EMIT_NONE])
+                        seconds[EMIT_COMPILED] + seconds[EMIT_NONE]
+                        + seconds[EMIT_OSR],
+                        bytecodes=counts[EMIT_COMPILED] + counts[EMIT_NONE]
+                        + counts[EMIT_OSR])
             sp.attrs.update(
                 cycles=result.cycles,
                 translate_cycles=result.translate_cycles,
@@ -248,6 +266,14 @@ class JavaVM:
                 bytecodes=result.bytecodes_executed,
                 methods_compiled=result.methods_compiled,
             )
+            if self.tiered is not None:
+                counters = self.tiered.counters()
+                sp.attrs.update(counters)
+                # Also bump the global counter stream: `repro.obs diff`
+                # compares counters across runs, so tier transitions
+                # become first-class diffable quantities.
+                for name, value in counters.items():
+                    TRACER.add(f"vm.tiered.{name}", value)
         return result
 
     def _run(self, max_bytecodes: int | None = None) -> VMResult:
@@ -317,6 +343,8 @@ class JavaVM:
         n = self.profiler.count_invocation(method) if (
             self.profiler and count
         ) else 1
+        if self.tiered is not None and not method.is_native:
+            return self.tiered.on_invoke(method)
         compiled = self._compiled.get(method.method_id)
         if compiled is not None:
             return compiled
@@ -369,7 +397,14 @@ class JavaVM:
                 stats.elided_case_counts[case] += 1
                 return True
             # A foreign thread reached a thread-local-marked object.
-            if obj.elide_depth > 0:
+            if getattr(obj, "tl_spec", None) is not None \
+                    and self.tiered is not None:
+                # Tier-2 *speculative* elision: repair the elided region
+                # (replay it through the lock manager on the owner's
+                # behalf) and deoptimize the allocating method, then
+                # lock normally below — no violation is recorded.
+                self.tiered.on_foreign_touch(obj)
+            elif obj.elide_depth > 0:
                 # Mid-region: the analysis was unsound for this object.
                 # Keep the marking so the eliding owner's enter/exit
                 # pairing stays consistent; record the violation.

@@ -21,7 +21,7 @@ class JObject:
     """An instance of a :class:`JClass`."""
 
     __slots__ = ("jclass", "fields", "addr", "lock", "gc_mark",
-                 "tl_thread", "elide_depth")
+                 "tl_thread", "elide_depth", "tl_spec")
 
     def __init__(self, jclass: JClass, addr: int) -> None:
         self.jclass = jclass
@@ -37,6 +37,10 @@ class JObject:
         # elided region can still be classified and safely unwound.
         self.tl_thread = None
         self.elide_depth = 0
+        # Tiered tier-2 speculation: (method_id, alloc site) when the
+        # elision was speculative rather than proven, so a foreign touch
+        # can repair and deoptimize instead of counting a violation.
+        self.tl_spec = None
 
     @property
     def byte_size(self) -> int:
@@ -58,7 +62,7 @@ class JArray:
     primitive arrays, or the string ``"ref"`` for reference arrays."""
 
     __slots__ = ("atype", "elem_bytes", "data", "addr", "lock", "gc_mark",
-                 "ref_class", "tl_thread", "elide_depth")
+                 "ref_class", "tl_thread", "elide_depth", "tl_spec")
 
     def __init__(self, atype, length: int, addr: int, ref_class: JClass | None = None) -> None:
         if length < 0:
@@ -77,6 +81,7 @@ class JArray:
         self.gc_mark = False
         self.tl_thread = None
         self.elide_depth = 0
+        self.tl_spec = None
 
     @property
     def length(self) -> int:

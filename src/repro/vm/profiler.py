@@ -6,6 +6,14 @@ interpreting (``I``-bucket), cycles executing compiled code
 oracle ("opt") model is built from (Section 3):
 
     ``N_i = T_i / (I_i - E_i)`` — compile iff ``n_i > N_i``.
+
+The tiered engine extends each profile with loop-backedge counts and
+tier-transition counters (current tier, promotions, OSR entries,
+deopts) so profiler snapshots double as the tiering audit trail.
+
+The hot-loop contract: the ``MethodProfile`` is cached on the frame at
+push time (``frame.profile``), so the interpreter charges cycles with
+one attribute access instead of a per-bytecode dict lookup.
 """
 
 from __future__ import annotations
@@ -24,6 +32,11 @@ class MethodProfile:
         "translate_cycles",
         "was_compiled",
         "is_native",
+        "backedges",
+        "tier",
+        "promotions",
+        "osr_entries",
+        "deopts",
     )
 
     def __init__(self, qualified_name: str, is_native: bool = False) -> None:
@@ -34,6 +47,11 @@ class MethodProfile:
         self.translate_cycles = 0
         self.was_compiled = False
         self.is_native = is_native
+        self.backedges = 0
+        self.tier = 0
+        self.promotions = 0
+        self.osr_entries = 0
+        self.deopts = 0
 
     @property
     def interp_per_invocation(self) -> float:
@@ -46,7 +64,7 @@ class MethodProfile:
         return self.compiled_cycles / self.invocations if self.invocations else 0.0
 
     def snapshot(self) -> dict:
-        return {
+        snap = {
             "name": self.qualified_name,
             "invocations": self.invocations,
             "interp_cycles": self.interp_cycles,
@@ -54,6 +72,14 @@ class MethodProfile:
             "translate_cycles": self.translate_cycles,
             "was_compiled": self.was_compiled,
         }
+        if self.backedges:
+            snap["backedges"] = self.backedges
+        if self.promotions or self.deopts:
+            snap["tier"] = self.tier
+            snap["promotions"] = self.promotions
+            snap["osr_entries"] = self.osr_entries
+            snap["deopts"] = self.deopts
+        return snap
 
     def __repr__(self) -> str:
         return (
@@ -83,10 +109,17 @@ class Profiler:
         return p.invocations
 
     def charge(self, frame, cycles: int) -> None:
-        """Attribute cycles from one executed bytecode to its method."""
+        """Attribute cycles from one executed bytecode to its method.
+
+        The stepper inlines this logic against ``frame.profile``; this
+        method remains for callers outside the hot loop and falls back
+        to the dict lookup when the frame carries no cached profile.
+        """
         if cycles <= 0:
             return
-        p = self.profile_for(frame.method)
+        p = frame.profile
+        if p is None:
+            p = self.profile_for(frame.method)
         if frame.emit_mode == EMIT_INTERP:
             p.interp_cycles += cycles
         else:

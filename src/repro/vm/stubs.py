@@ -36,6 +36,9 @@ NATIVE_COST_BUCKETS = (10, 20, 40, 80, 160)
 #: Elements copied per iteration of the bulk-copy routine.
 COPY_CHUNK_ELEMS = 8
 
+#: Frame slots transferred per iteration of the OSR / deopt map loops.
+OSR_CHUNK_SLOTS = 4
+
 
 class RuntimeStubs:
     """The VM's runtime-routine templates."""
@@ -132,6 +135,42 @@ class RuntimeStubs:
         b.instr(NCat.RET, target=PATCH)
         self.classload_fixup = b.build(region=region)
 
+        # -- tier transitions (OSR entry / deoptimization) -------------------
+        # On-stack replacement maps a live interpreter frame into
+        # compiled code at a loop header: the runtime walks the frame
+        # (header vpc+method, locals, live operand-stack slots, monitor
+        # slot) loading each word into the compiled code's register
+        # state, then jumps to the loop-header chunk.
+        b = TemplateBuilder("osr:map_in")
+        b.ialu(dst=REG_TMP0, src1=REG_ARG0, n=2)     # slot address calc
+        for _ in range(OSR_CHUNK_SLOTS):
+            b.load(dst=REG_TMP1, src1=REG_ARG0, ea=PATCH)
+        b.ialu(dst=REG_TMP0, src1=REG_TMP0)
+        b.instr(NCat.BRANCH, src1=REG_TMP0, taken=PATCH,
+                target=b.rel(-(OSR_CHUNK_SLOTS + 2)))
+        self.osr_map_in = b.build(region=region)
+
+        b = TemplateBuilder("osr:enter")
+        b.instr(NCat.JUMP, target=PATCH)             # to the loop header
+        self.osr_enter = b.build(region=region)
+
+        # Deoptimization is the inverse map: write the compiled frame's
+        # register state back into the interpreter frame's slots
+        # (reconstructing an equivalent interpreter activation), then
+        # jump to the interpreter dispatch loop.
+        b = TemplateBuilder("deopt:map_out")
+        b.ialu(dst=REG_TMP0, src1=REG_ARG0, n=2)
+        for _ in range(OSR_CHUNK_SLOTS):
+            b.store(src1=REG_TMP1, src2=REG_ARG0, ea=PATCH)
+        b.ialu(dst=REG_TMP0, src1=REG_TMP0)
+        b.instr(NCat.BRANCH, src1=REG_TMP0, taken=PATCH,
+                target=b.rel(-(OSR_CHUNK_SLOTS + 2)))
+        self.deopt_map_out = b.build(region=region)
+
+        b = TemplateBuilder("deopt:exit")
+        b.instr(NCat.JUMP, target=PATCH)             # to interp dispatch
+        self.deopt_exit = b.build(region=region)
+
         # -- interpreter method entry (target of invoke ICALLs) --------------
         b = TemplateBuilder("interp_entry")
         b.ialu(dst=REG_TMP0, src1=REG_ARG0, n=3)
@@ -194,6 +233,37 @@ class RuntimeStubs:
     def emit_resolve(self, sink, pool_ea: int, class_ea: int) -> None:
         """Lazy constant-pool resolution of one entry."""
         sink.emit(self.resolve, (pool_ea, class_ea, class_ea + 16, pool_ea))
+
+    def _frame_slot_eas(self, frame) -> list[int]:
+        """Frame words an OSR/deopt state map transfers: the two header
+        words (saved vpc, method pointer), every local, and the live
+        operand-stack slots."""
+        eas = [frame.frame_base, frame.frame_base + 4]
+        eas.extend(frame.local_addr(i) for i in range(len(frame.locals)))
+        eas.extend(frame.slot_addr(d) for d in range(len(frame.stack)))
+        return eas
+
+    def _emit_state_map(self, sink, tpl, eas: list[int]) -> None:
+        done, total = 0, len(eas)
+        while done < total:
+            chunk = [eas[min(done + i, total - 1)]
+                     for i in range(OSR_CHUNK_SLOTS)]
+            done += OSR_CHUNK_SLOTS
+            sink.emit(tpl, chunk, (done < total,))
+
+    def emit_osr_entry(self, sink, frame, entry_pc: int) -> None:
+        """On-stack replacement: load the interpreter frame's state into
+        compiled-code registers, then jump to the loop-header chunk."""
+        self._emit_state_map(sink, self.osr_map_in,
+                             self._frame_slot_eas(frame))
+        sink.emit(self.osr_enter, (), (), (entry_pc,))
+
+    def emit_deopt(self, sink, frame, dispatch_pc: int) -> None:
+        """Deoptimization: write compiled register state back into the
+        interpreter frame's slots, then jump to the dispatch loop."""
+        self._emit_state_map(sink, self.deopt_map_out,
+                             self._frame_slot_eas(frame))
+        sink.emit(self.deopt_exit, (), (), (dispatch_pc,))
 
 
 _SHARED: RuntimeStubs | None = None

@@ -21,10 +21,15 @@ FINISHED = "finished"
 #: Per-frame bookkeeping bytes (saved vpc, method pointer, previous frame).
 FRAME_HEADER_BYTES = 16
 
-# Frame emit modes.
+# Frame emit modes.  EMIT_OSR marks an activation that entered compiled
+# code mid-execution via on-stack replacement: it emits exactly what
+# EMIT_COMPILED emits (handlers test ``mode >= EMIT_COMPILED``), but the
+# distinct mode keeps OSR'd dispatch separately attributable in the
+# observability buckets.
 EMIT_NONE = 0
 EMIT_INTERP = 1
 EMIT_COMPILED = 2
+EMIT_OSR = 3
 
 
 class StackOverflow(Exception):
@@ -49,6 +54,8 @@ class Frame:
         "sync_obj",
         "return_pc",
         "size_bytes",
+        "profile",
+        "backedges",
     )
 
     def __init__(self, method: Method, frame_base: int) -> None:
@@ -69,6 +76,8 @@ class Frame:
         self.compiled = None      # CompiledMethod when emit_mode is COMPILED
         self.sync_obj = None      # monitor held while in a synchronized method
         self.return_pc = 0        # native pc execution resumes at on return
+        self.profile = None       # MethodProfile cached at push time
+        self.backedges = 0        # loop back-edges taken in this activation
 
     def slot_addr(self, depth: int) -> int:
         """Address of operand-stack slot ``depth`` (0 = bottom)."""

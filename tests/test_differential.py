@@ -2,7 +2,8 @@
 
 Perf claims are only trustworthy on top of a correctness net: for every
 workload, every pair drawn from interp × jit × jit_opt × lock_elision
-must be *semantically indistinguishable* — identical program output,
+× tiered must be *semantically indistinguishable* — identical program
+output,
 identical heap effects, identical (normalized) synchronization effects.
 The runs are deterministic, so any divergence is a real bug in one of
 the execution engines, not noise.
@@ -26,12 +27,19 @@ WORKLOADS = sorted(all_workloads())
 SCALES = ("s0", "s1")
 
 #: The full configuration matrix: name -> run_vm keyword arguments.
+#: ``tiered`` uses hair-trigger thresholds so promotion and OSR fire
+#: even inside the small s0 runs.
 CONFIGS = {
     "interp": {"mode": "interp"},
     "jit": {"mode": "jit"},
     "jit_opt": {"mode": "jit", "jit_opt": True},
     "lock_elision": {"mode": "jit", "lock_elision": True},
+    "tiered": {"mode": ("tiered", 2, 3, 4)},
 }
+
+#: Configs whose sync comparison needs the elision-normalized view
+#: (tier 2 of the tiered ladder elides locks too).
+ELIDING = frozenset({"lock_elision", "tiered"})
 
 CONFIG_PAIRS = list(itertools.combinations(CONFIGS, 2))
 
@@ -76,7 +84,7 @@ class TestConfigMatrix:
     """Every configuration pair, every workload, at s0."""
 
     def test_pair_semantically_equivalent(self, workload, left, right):
-        elision = "lock_elision" in (left, right)
+        elision = bool(ELIDING & {left, right})
         lo = _observables(_run(workload, "s0", left), elision)
         ro = _observables(_run(workload, "s0", right), elision)
         for key in lo:
@@ -139,6 +147,14 @@ class TestOtherEnginesAgree:
             run_vm(workload, scale="s0", mode="interp", folding=True)
         )
         assert folded == base
+
+    def test_tiered_matches_and_promotes(self, workload):
+        base = _observables(run_vm(workload, scale="s0", mode="interp"),
+                            elision=True)
+        result = run_vm(workload, scale="s0", mode=("tiered", 2, 3, 4))
+        assert _observables(result, elision=True) == base
+        # Hair-trigger thresholds: the ladder must actually climb.
+        assert result.tiering["promotions_t1"] > 0
 
 
 def test_stdout_nonempty_for_checksum_workloads():
