@@ -1,0 +1,214 @@
+"""Race detection over harvested lockset facts.
+
+Two passes on top of :mod:`lockset`:
+
+* **Lock context** — a must-analysis propagating lock names *into*
+  callees: a callee called only while ``("g", C, F)`` is held inherits
+  that name; a callee whose receiver/argument *is* a held lock inherits
+  ``("p", slot)``.  Contributions from all call sites intersect
+  (optimistic greatest-fixpoint over a finite name set).
+* **Pairing** — accesses are grouped by location key, pairs with at
+  least one write whose contexts may happen in parallel and that share
+  no common lock name are candidate races.
+
+Guard rules: two accesses are considered guarded when their *absolute*
+lock names (``("g", ...)``/``("class", ...)``) intersect, or — for
+instance fields and elements — when each side holds the very object it
+accesses (self-guarding, which covers synchronized methods like mtrt's
+``Result.addSamples``/``getTotal``).
+
+Known, documented imprecision: joins are not modeled (post-join reads
+stay parallel with thread writes) and element accesses whose base is a
+parameter fall into a shared ``elem-any`` bucket.
+"""
+
+from __future__ import annotations
+
+from ..dataflow.findings import Finding
+from .lockset import Access
+
+_ABSOLUTE_TAGS = ("g", "class")
+
+
+def held_names(held: frozenset, ctx: frozenset) -> frozenset:
+    """Singleton lock identities in ``held`` plus the inherited context."""
+    out = {t for entry in held if len(entry) == 1 for t in entry}
+    return frozenset(out) | ctx
+
+
+def absolute_names(names: frozenset) -> frozenset:
+    return frozenset(t for t in names if t[0] in _ABSOLUTE_TAGS)
+
+
+def compute_contexts(infos: dict, reachable, entry_methods: set) -> dict:
+    """method -> must-held lock names inherited from every call site."""
+    ctx: dict = {m: frozenset() for m in entry_methods}
+    changed = True
+    while changed:
+        changed = False
+        contrib: dict = {}
+        for m in reachable:
+            info = infos.get(m)
+            if info is None:
+                continue
+            cctx = ctx.get(m)   # None = not yet known = universe
+            for _idx, targets, arg_origins, held in info.calls:
+                if not targets:
+                    continue
+                if cctx is None:
+                    passed = None
+                else:
+                    names = held_names(held, cctx)
+                    out = set(absolute_names(names))
+                    for slot, origins in enumerate(arg_origins):
+                        if len(origins) == 1:
+                            tok = next(iter(origins))
+                            if tok in names:
+                                out.add(("p", slot))
+                    passed = frozenset(out)
+                for t in targets:
+                    if t.is_native or not t.code:
+                        continue
+                    cur = contrib.get(t, "unset")
+                    if cur == "unset" or cur is None:
+                        contrib[t] = passed
+                    elif passed is not None:
+                        contrib[t] = cur & passed
+        for t, v in contrib.items():
+            if t in entry_methods or v is None:
+                continue
+            if ctx.get(t) != v:
+                ctx[t] = v
+                changed = True
+    return {m: v for m, v in ctx.items() if v is not None}
+
+
+class SiteAccess:
+    """An :class:`Access` lifted to whole-program context."""
+
+    __slots__ = ("method", "access", "names", "self_guarded", "contexts")
+
+    def __init__(self, method, access: Access, names: frozenset,
+                 self_guarded: bool, contexts: tuple) -> None:
+        self.method = method
+        self.access = access
+        self.names = names
+        self.self_guarded = self_guarded
+        self.contexts = contexts
+
+
+class RaceReport:
+    """One candidate race: a racing pair anchored at a write."""
+
+    __slots__ = ("code", "location", "description", "write", "other",
+                 "entries", "witness")
+
+    def __init__(self, code, location, description, write, other,
+                 entries, witness) -> None:
+        self.code = code
+        self.location = location
+        self.description = description
+        self.write = write           # (qualified_name, index)
+        self.other = other           # (qualified_name, index)
+        self.entries = entries       # sorted entry keys involved
+        self.witness = witness       # call chain to the write
+
+    def finding(self) -> Finding:
+        locks = "unlocked" if not self.entries else None
+        msg = (f"possible race on {self.description}: write at "
+               f"{self.write[0]}@{self.write[1]} vs access at "
+               f"{self.other[0]}@{self.other[1]} "
+               f"[{', '.join(self.entries)}]"
+               + (f"; via {' -> '.join(self.witness)}" if self.witness
+                  else ""))
+        return Finding(self.code, self.write[0], self.write[1], msg)
+
+
+_CODE_BY_KIND = {"field": "RC001", "static": "RC002", "elem": "RC003"}
+
+
+def location_keys(access: Access, method) -> tuple:
+    """Stable location keys an access may alias (usually exactly one)."""
+    if access.kind == "field":
+        return (("field", access.cls, access.name),)
+    if access.kind == "static":
+        return (("static", access.cls, access.name),)
+    keys = []
+    for tok in (access.base or _EMPTY_SET):
+        if tok[0] == "a":
+            keys.append(("elem-site", method.qualified_name, tok[1]))
+        elif tok[0] in ("g", "f"):
+            keys.append(("elem-field", tok[1], tok[2]))
+        else:
+            keys.append(("elem-any",))
+    return tuple(keys) or (("elem-any",),)
+
+
+_EMPTY_SET: frozenset = frozenset()
+
+
+def _describe(key) -> str:
+    if key[0] == "field":
+        return f"field {key[1]}.{key[2]}"
+    if key[0] == "static":
+        return f"static field {key[1]}.{key[2]}"
+    if key[0] == "elem-site":
+        return f"elements of the array allocated at {key[1]}@{key[2]}"
+    if key[0] == "elem-field":
+        return f"elements of the array in {key[1]}.{key[2]}"
+    return "array elements (unresolved base)"
+
+
+def guarded(a: SiteAccess, b: SiteAccess, kind: str) -> bool:
+    if absolute_names(a.names) & absolute_names(b.names):
+        return True
+    if kind != "static" and a.self_guarded and b.self_guarded:
+        return True
+    return False
+
+
+def detect_races(site_accesses: list, mhp) -> list:
+    """Group accesses by location and report one race per racy location."""
+    groups: dict = {}
+    for sa in site_accesses:
+        for key in location_keys(sa.access, sa.method):
+            groups.setdefault(key, []).append(sa)
+    reports = []
+    for key in sorted(groups, key=repr):
+        members = groups[key]
+        writes = [sa for sa in members if sa.access.write]
+        if not writes:
+            continue
+        kind = members[0].access.kind
+        hit = None
+        for w in writes:
+            for o in members:
+                if guarded(w, o, kind):
+                    continue
+                pair = _parallel_pair(w, o, mhp)
+                if pair is not None:
+                    hit = (w, o, pair)
+                    break
+            if hit:
+                break
+        if hit is None:
+            continue
+        w, o, (c1, c2) = hit
+        entries = sorted({c1[0], c2[0]})
+        reports.append(RaceReport(
+            _CODE_BY_KIND[kind], key, _describe(key),
+            (w.method.qualified_name, w.access.index),
+            (o.method.qualified_name, o.access.index),
+            entries, mhp.witness(c1[0], w.method)))
+    return reports
+
+
+def _parallel_pair(w: SiteAccess, o: SiteAccess, mhp):
+    # ``may_parallel(c, c)`` is True exactly for multi-instance thread
+    # entries, so the same statement racing against its sibling-thread
+    # twin (two mtrt-style workers) falls out of the same check.
+    for c1 in w.contexts:
+        for c2 in o.contexts:
+            if mhp.may_parallel(c1, c2):
+                return (c1, c2)
+    return None

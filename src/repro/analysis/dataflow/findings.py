@@ -10,6 +10,8 @@ Code families:
 * ``RT0xx`` — type errors from the typed verifier.
 * ``RL0xx`` — lint-grade dataflow facts (dead code, dead stores,
   constant branches, uninitialized reads, elidable locks).
+* ``RC0xx`` — interprocedural concurrency facts (lockset races,
+  static lock-elision safety) from ``repro.analysis.concurrency``.
 """
 
 from __future__ import annotations
@@ -46,6 +48,14 @@ CODES: dict[str, tuple[Severity, str]] = {
     "RL003": ("warning", "branch condition is compile-time constant"),
     "RL004": ("warning", "read of a local no path initializes"),
     "RL005": ("info", "monitor on provably thread-local object (elidable)"),
+    # concurrency analysis (analysis.concurrency)
+    "RC001": ("warning", "possible data race on an instance field"),
+    "RC002": ("warning", "possible data race on a static field"),
+    "RC003": ("warning", "possible data race on array elements"),
+    "RC004": ("info", "allocation consistently locked by one thread "
+                      "(statically elidable beyond escape analysis)"),
+    "RC005": ("info", "allocation of a lock-shared class "
+                      "(elision pre-blacklisted)"),
 }
 
 

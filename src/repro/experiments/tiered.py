@@ -164,12 +164,13 @@ SCENARIOS = {
 }
 
 
-def run_scenario(name: str, strategy=None):
+def run_scenario(name: str, strategy=None, static_concurrency=False):
     """Run one deopt scenario under the tiered engine; returns VMResult."""
     builder, _expected = SCENARIOS[name]
     vm = JavaVM(builder().build(),
                 strategy=strategy or TieredStrategy(**AGGRESSIVE),
-                spawn_daemons=False)
+                spawn_daemons=False,
+                static_concurrency=static_concurrency)
     return vm.run()
 
 
@@ -188,6 +189,35 @@ def run_scenarios() -> dict:
             "deopt_reasons": t["deopt_reasons"],
             "speculation_failures": t["speculation_failures"],
         }
+    return out
+
+
+def static_concurrency_comparison() -> dict:
+    """The lock_escape scenario with and without the static race
+    detector's summaries feeding the tier-2 screen.
+
+    Without summaries the engine speculates on the escaping Box site
+    and pays a lock-escape deoptimization when the toucher thread locks
+    the published object.  With ``static_concurrency=True`` the lockset
+    analysis pre-blacklists the site (the Box class is locked by two
+    threads), so the engine never speculates: zero lock-escape deopts,
+    zero elision violations, identical stdout.  CI guards all three."""
+    out = {}
+    for label, static in (("static_off", False), ("static_on", True)):
+        res = run_scenario("lock_escape", static_concurrency=static)
+        t = res.tiering
+        out[label] = {
+            "stdout_ok": res.stdout == SCENARIOS["lock_escape"][1],
+            "deopts": t["deopts"],
+            "lock_escape_deopts":
+                t["deopt_reasons"].get("lock_escape", 0),
+            "speculative_marks": t["speculative_marks"],
+            "elision_violations":
+                res.sync.get("elision_violations", 0),
+        }
+    off, on = out["static_off"], out["static_on"]
+    out["deopts_avoided"] = (off["lock_escape_deopts"]
+                             - on["lock_escape_deopts"])
     return out
 
 
@@ -375,6 +405,7 @@ def write_bench(path: str, scale: str = "s1", benchmarks=None) -> dict:
         sweep.append({"compile_ratio": ratio, "suite_cycles": total})
     data["sweep"] = sweep
     data["deopt_scenarios"] = run_scenarios()
+    data["static_concurrency"] = static_concurrency_comparison()
     with open(path, "w") as fh:
         json.dump(data, fh, indent=2, sort_keys=True)
     return data
@@ -413,6 +444,11 @@ def main(argv=None) -> int:
     for name, s in data["deopt_scenarios"].items():
         print(f"scenario {name}: deopts={s['deopts']} "
               f"osr={s['osr_entries']} stdout_ok={s['stdout_ok']}")
+    sc = data["static_concurrency"]
+    print(f"static concurrency: lock-escape deopts "
+          f"{sc['static_off']['lock_escape_deopts']} -> "
+          f"{sc['static_on']['lock_escape_deopts']} "
+          f"({sc['deopts_avoided']} avoided)")
     print(f"wrote {args.out} (+ {obs.manifest_path_for(args.out)})")
     return 0
 

@@ -6,9 +6,11 @@ Examples::
     python -m repro.fuzz --seed 7 --count 2000 --time-budget 600
     python -m repro.fuzz --seed 0 --count 500 --promote
     python -m repro.fuzz --selftest                    # oracle has teeth?
+    python -m repro.fuzz --crosscheck --count 200      # static vs dynamic
 
-Exit status: 1 on any semantic divergence (or a failed selftest),
-0 otherwise — performance anomalies alone do not fail the run.
+Exit status: 1 on any semantic divergence (or a failed selftest, or a
+cross-check soundness/equivalence failure), 0 otherwise — performance
+anomalies alone do not fail the run.
 """
 
 from __future__ import annotations
@@ -54,6 +56,59 @@ def selftest(say) -> int:
     return 0 if tried and caught >= max(1, tried * 2 // 3) else 1
 
 
+def crosscheck_campaign(args, say) -> int:
+    """Static race detector vs the running VM (see ``crosscheck``)."""
+    from .crosscheck import run_crosscheck
+
+    def progress(index, result):
+        if not args.quiet and (index + 1) % 50 == 0:
+            say(f"  {index + 1}/{args.count}: "
+                f"{len(result.violations)} violation(s), "
+                f"{len(result.equivalence_failures)} equivalence "
+                f"failure(s)")
+
+    result = run_crosscheck(seed=args.seed, count=args.count,
+                            fuel=args.fuel, out_dir=args.out,
+                            minimize=args.minimize, progress=progress)
+    summary = result.summary()
+    precision = summary["racy_precision"]
+    say(f"crosscheck: {summary['checked']} programs, "
+        f"{summary['static_claims']} safe claims, "
+        f"{summary['foreign_locked_sites']} foreign-locked sites, "
+        f"{summary['soundness_violations']} soundness violation(s), "
+        f"{summary['equivalence_failures']} equivalence failure(s), "
+        f"racy precision "
+        + (f"{precision:.2f}" if precision is not None else "n/a")
+        + f" ({summary['racy_confirmed']}/{summary['racy_claims']})")
+    for v in result.violations:
+        print(f"  SOUNDNESS: seed {v['seed']} sites {v['sites']}",
+              file=sys.stderr)
+    for e in result.equivalence_failures:
+        print(f"  EQUIVALENCE: seed {e['seed']}: {e['detail']}",
+              file=sys.stderr)
+    for path in result.reproducers:
+        say(f"  reproducer: {path}")
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        from ..obs.manifest import (
+            build_manifest,
+            manifest_path_for,
+            write_manifest,
+        )
+        manifest = build_manifest(
+            tool="repro-fuzz-crosscheck", argv=sys.argv[1:],
+            extra={"crosscheck": {k: v for k, v in summary.items()
+                                  if k not in ("violations",
+                                               "reproducers")}})
+        write_manifest(manifest_path_for(args.json), manifest)
+        say(f"wrote {args.json}")
+
+    return 0 if result.ok else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-fuzz",
@@ -87,6 +142,9 @@ def main(argv=None) -> int:
                              "(manifest written alongside)")
     parser.add_argument("--selftest", action="store_true",
                         help="planted-miscompile oracle check, then exit")
+    parser.add_argument("--crosscheck", action="store_true",
+                        help="static/dynamic concurrency cross-check "
+                             "campaign over multithreaded programs")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
@@ -95,6 +153,9 @@ def main(argv=None) -> int:
 
     if args.selftest:
         return selftest(say)
+
+    if args.crosscheck:
+        return crosscheck_campaign(args, say)
 
     def progress(index, result):
         if not args.quiet and (index + 1) % 50 == 0:

@@ -179,6 +179,60 @@ class HelperSpec:
 
 
 @dataclass
+class WorkerSpec:
+    """One ``java/lang/Thread`` subclass spawned ``copies`` times.
+
+    Worker bodies touch only worker-private state (own ints, own array,
+    own FuzzData) plus the shared object *as a lock*, and fold their
+    result into ``Main.acc`` with a lock-guarded XOR — commutative, so
+    every schedule and every execution config prints the same epilogue.
+    """
+
+    cls_name: str
+    copies: int
+    n_int: int
+    array_len: int
+    int_inits: tuple
+    body: list[Stmt]
+
+
+class _WorkerLayout:
+    """Slot layout for a worker's ``run`` method (slot 0 = ``this``)."""
+
+    n_counters = _MAX_DEPTH
+    n_float = 0
+    float_base = 0     # workers have no float locals
+
+    def __init__(self, n_int: int, array_len: int) -> None:
+        self.n_int = n_int
+        self.array_len = array_len
+
+    @property
+    def ref_slot(self) -> int:          # the shared FuzzData (as a lock)
+        return 1
+
+    @property
+    def ref2_slot(self) -> int:         # worker-private FuzzData
+        return 2
+
+    @property
+    def arr_slot(self) -> int:
+        return 3
+
+    @property
+    def int_base(self) -> int:
+        return 4
+
+    @property
+    def counter_base(self) -> int:
+        return self.int_base + self.n_int
+
+    @property
+    def lock_base(self) -> int:
+        return self.counter_base + self.n_counters
+
+
+@dataclass
 class ProgramSpec:
     """Everything needed to deterministically re-render one program."""
 
@@ -191,8 +245,11 @@ class ProgramSpec:
     helpers: list[HelperSpec]
     body: list[Stmt]
     n_counters: int = _MAX_DEPTH
+    workers: list[WorkerSpec] = field(default_factory=list)
 
     # -- slot layout (main) -------------------------------------------------
+    int_base = 0
+
     @property
     def float_base(self) -> int:
         return self.n_int
@@ -220,6 +277,10 @@ class ProgramSpec:
         # monitorenter locked, even if the body reassigns the local.
         return self.counter_base + self.n_counters
 
+    @property
+    def worker_base(self) -> int:       # one slot per spawned worker
+        return self.lock_base + self.n_counters
+
     def all_blocks(self) -> list[list[Stmt]]:
         """Every statement block in the spec, outermost first."""
         found: list[list[Stmt]] = []
@@ -231,6 +292,8 @@ class ProgramSpec:
                     walk(nested)
 
         walk(self.body)
+        for w in self.workers:
+            walk(w.body)
         return found
 
     def size(self) -> int:
@@ -263,15 +326,69 @@ class ProgramSpec:
             _Emitter(self, hb).expr(helper.expr)
             hb.ireturn()
 
+        for w in self.workers:
+            self._render_worker(pb, w)
+
         mb = main_cb.method("main", static=True)
         em = _Emitter(self, mb)
         em.prologue()
         for stmt in self.body:
             em.stmt(stmt)
+        if self.workers:
+            self._spawn_and_join(mb)
         em.epilogue()
         mb.return_()
 
         return pb.build(verify=verify, typed=verify)
+
+    def _render_worker(self, pb: ProgramBuilder, w: WorkerSpec) -> None:
+        layout = _WorkerLayout(w.n_int, w.array_len)
+        cb = pb.cls(w.cls_name, super_name="java/lang/Thread")
+        cb.method("<init>").return_()
+        mb = cb.method("run")
+        # prologue: pick up the published shared object, build private state
+        mb.getstatic(MAIN_CLASS, "shared").checkcast(DATA_CLASS) \
+            .astore(layout.ref_slot)
+        mb.new(DATA_CLASS).dup().invokespecial(DATA_CLASS, "<init>", 0) \
+            .astore(layout.ref2_slot)
+        mb.iconst(w.array_len).newarray(ArrayType.INT).astore(layout.arr_slot)
+        for i, v in enumerate(w.int_inits):
+            mb.iconst(v).istore(layout.int_base + i)
+        for k in range(layout.n_counters):
+            mb.iconst(0).istore(layout.counter_base + k)
+        em = _Emitter(layout, mb)
+        for stmt in w.body:
+            em.stmt(stmt)
+        # tail: fold private state into Main.acc under the shared lock.
+        # XOR commutes, so the final acc is schedule-independent.
+        lock = layout.lock_base
+        mb.aload(layout.ref_slot).astore(lock)
+        mb.aload(lock).monitorenter()
+        mb.getstatic(MAIN_CLASS, "acc")
+        for i in range(w.n_int):
+            mb.iload(layout.int_base + i).ixor()
+        mb.aload(layout.arr_slot).iconst(0).iaload().ixor()
+        mb.putstatic(MAIN_CLASS, "acc")
+        mb.aload(lock).monitorexit()
+        mb.return_()
+
+    def _spawn_and_join(self, mb: MethodBuilder) -> None:
+        """Publish the shared object, start every worker, join them all."""
+        mb.aload(self.ref_slot).putstatic(MAIN_CLASS, "shared")
+        slot = self.worker_base
+        for w in self.workers:
+            for _ in range(w.copies):
+                mb.new(w.cls_name).dup() \
+                    .invokespecial(w.cls_name, "<init>", 0).astore(slot)
+                mb.aload(slot) \
+                    .invokevirtual("java/lang/Thread", "start", 0, False)
+                slot += 1
+        slot = self.worker_base
+        for w in self.workers:
+            for _ in range(w.copies):
+                mb.aload(slot) \
+                    .invokevirtual("java/lang/Thread", "join", 0, False)
+                slot += 1
 
 
 class _Emitter:
@@ -315,7 +432,7 @@ class _Emitter:
         spec, m = self.spec, self.mb
         if isinstance(s, SetInt):
             self.expr(s.expr)
-            m.istore(s.slot)
+            m.istore(spec.int_base + s.slot)
         elif isinstance(s, SetFloat):
             self.fexpr(s.expr)
             m.fstore(spec.float_base + s.slot)
@@ -344,7 +461,7 @@ class _Emitter:
             m.aload(s.ref_slot)
             self.expr(s.arg)
             m.invokevirtual(DATA_CLASS, "bump", 1, True)
-            m.istore(s.dst)
+            m.istore(spec.int_base + s.dst)
         elif isinstance(s, If):
             self._if(s)
         elif isinstance(s, Loop):
@@ -431,7 +548,7 @@ class _Emitter:
         if kind == "const":
             m.iconst(e[1])
         elif kind == "local":
-            m.iload(e[1])
+            m.iload(self.spec.int_base + e[1])
         elif kind == "bin":
             _, op, left, right = e
             self.expr(left)
@@ -611,7 +728,6 @@ class _Gen:
         return [self.stmt(depth) for _ in range(n)]
 
     def stmt(self, depth: int) -> Stmt:
-        rng = self.rng
         compound_ok = depth < _MAX_DEPTH
         weights = [
             ("set_int", 5), ("set_arr", 3), ("set_float", 2),
@@ -622,8 +738,11 @@ class _Gen:
             ("sync", 2 if compound_ok else 0),
             ("switch", 1 if compound_ok else 0),
         ]
+        return self._dispatch(weights, depth)
+
+    def _dispatch(self, weights, depth: int) -> Stmt:
         total = sum(w for _, w in weights)
-        pick = rng.randrange(total)
+        pick = self.rng.randrange(total)
         for name, w in weights:
             pick -= w
             if pick < 0:
@@ -713,6 +832,114 @@ class _Gen:
         )
 
 
+class _WorkerGen(_Gen):
+    """Restricted generator for worker bodies.
+
+    No prints (output order is schedule-dependent), no reads or writes
+    of shared mutable state (``Main.acc``, the shared FuzzData's
+    fields), no floats.  Workers may still *lock* the shared object
+    (``Sync`` on the shared slot), so generated programs exercise real
+    cross-thread lock contention with deterministic observables.
+    """
+
+    def __init__(self, seed: int, helpers, layout: _WorkerLayout) -> None:
+        super().__init__(seed)
+        self.helpers = list(helpers)
+        self.layout = layout
+        self.n_int = layout.n_int
+        self.n_float = 0
+        self.array_len = layout.array_len
+
+    def iexpr(self, depth: int = 3) -> tuple:
+        rng = self.rng
+        if depth == 0:
+            if rng.random() < 0.5:
+                return ("const", self._int_const())
+            return ("local", rng.randrange(self.n_int))
+        roll = rng.random()
+        if roll < 0.30:
+            return ("const", self._int_const()) if rng.random() < 0.5 \
+                else ("local", rng.randrange(self.n_int))
+        if roll < 0.66:
+            return ("bin", rng.choice(_INT_BINOPS),
+                    self.iexpr(depth - 1), self.iexpr(depth - 1))
+        if roll < 0.74:
+            return ("un", rng.choice(_INT_UNOPS), self.iexpr(depth - 1))
+        if roll < 0.84:
+            return ("arr", self.iexpr(depth - 1))
+        if roll < 0.92 and self.helpers:
+            helper = rng.choice(self.helpers)
+            return ("call", helper.name,
+                    tuple(self.iexpr(depth - 1) for _ in range(helper.argc)))
+        return ("vcall", self.iexpr(depth - 1))
+
+    def stmt(self, depth: int) -> Stmt:
+        compound_ok = depth < _MAX_DEPTH
+        weights = [
+            ("set_int", 5), ("set_arr", 3), ("put_field", 2),
+            ("vcall", 2), ("new_data", 1),
+            ("if", 4 if compound_ok else 0),
+            ("loop", 3 if compound_ok else 0),
+            ("sync", 2 if compound_ok else 0),
+            ("switch", 1 if compound_ok else 0),
+        ]
+        return self._dispatch(weights, depth)
+
+    # private-state statements target the worker's own FuzzData only
+    def _stmt_put_field(self, depth) -> Stmt:
+        return PutField(self.layout.ref2_slot,
+                        self.rng.choice(("f0", "f1")), self.iexpr(2))
+
+    def _stmt_vcall(self, depth) -> Stmt:
+        return VirtualCall(self.layout.ref2_slot,
+                           self.rng.randrange(self.n_int), self.iexpr(2))
+
+    def _stmt_new_data(self, depth) -> Stmt:
+        return NewData(self.layout.ref2_slot)
+
+    def _stmt_if(self, depth) -> Stmt:
+        rng = self.rng
+        if rng.random() < 0.7:
+            s = If("cmp2", rng.choice(_CMP2), self.iexpr(2), self.iexpr(2))
+        else:
+            s = If("cmp1", rng.choice(_CMP1), self.iexpr(2), None)
+        s.then = self.block(rng.randint(1, 3), depth + 1)
+        if rng.random() < 0.7:
+            s.orelse = self.block(rng.randint(1, 2), depth + 1)
+        return s
+
+    def _ref_slot(self) -> int:
+        # lock either the shared object or the private one
+        return (self.layout.ref_slot if self.rng.random() < 0.5
+                else self.layout.ref2_slot)
+
+
 def gen_program(seed: int) -> ProgramSpec:
     """Deterministically generate one program spec from ``seed``."""
     return _Gen(seed).generate()
+
+
+def gen_mt_program(seed: int) -> ProgramSpec:
+    """A multithreaded spec: ``gen_program(seed)`` plus worker threads.
+
+    The single-threaded part is byte-identical to ``gen_program(seed)``;
+    workers are appended from an independent random stream, spawned
+    after the main body, and joined before the epilogue prints.
+    """
+    spec = gen_program(seed)
+    rng = random.Random(seed ^ 0x5DEECE66D)
+    for wi in range(rng.randint(1, 2)):
+        wseed = seed * 31 + wi + 1
+        layout = _WorkerLayout(n_int=rng.randint(2, 4),
+                               array_len=rng.randint(4, 8))
+        wg = _WorkerGen(wseed, spec.helpers, layout)
+        spec.workers.append(WorkerSpec(
+            cls_name=f"Worker{wi}",
+            copies=rng.randint(1, 2),
+            n_int=layout.n_int,
+            array_len=layout.array_len,
+            int_inits=tuple(wg._int_const()
+                            for _ in range(layout.n_int)),
+            body=wg.block(rng.randint(3, 8), depth=0),
+        ))
+    return spec

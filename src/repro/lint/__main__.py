@@ -5,6 +5,8 @@ Examples::
     python -m repro.lint                       # report findings
     python -m repro.lint --strict              # fail on error findings
     python -m repro.lint --selftest            # corpus must be caught
+    python -m repro.lint --workloads spec,promoted --asm-dir tests/fuzz_corpus
+    python -m repro.lint --format sarif --output lint.sarif
     python -m repro.lint --golden src/repro/lint/golden_findings.json
     python -m repro.lint --update-golden src/repro/lint/golden_findings.json
 """
@@ -17,21 +19,86 @@ import os
 import sys
 from collections import Counter
 
-from . import lint_workload
-from .corpus import check_corpus
+from . import CODES, lint_asm_dir, lint_workload, prefixed
+from .corpus import check_corpus, check_race_corpus
 
 _DEFAULT_GOLDEN = os.path.join(os.path.dirname(__file__),
                                "golden_findings.json")
 
+#: SARIF severity names for our severities.
+_SARIF_LEVEL = {"error": "error", "warning": "warning", "info": "note"}
 
-def _collect(workloads, scale: str, say) -> list:
+
+def expand_workloads(spec: str | None) -> list[str]:
+    """Resolve a ``--workloads`` spec; ``spec``/``promoted`` are groups."""
+    from ..workloads.base import SPEC_BENCHMARKS, all_workloads
+
+    if spec is None:
+        return list(SPEC_BENCHMARKS)
+    names: list[str] = []
+    for tok in spec.split(","):
+        tok = tok.strip()
+        if tok == "spec":
+            names.extend(SPEC_BENCHMARKS)
+        elif tok == "promoted":
+            names.extend(sorted(n for n in all_workloads()
+                                if n.startswith("fuzz_")))
+        elif tok:
+            names.append(tok)
+    return names
+
+
+def _collect(workloads, scale: str, say, asm_dirs=()) -> list:
     findings = []
+    seen = set()           # (code, method, pc) keys, O(1) membership
     for name in workloads:
         wf = lint_workload(name, scale=scale)
+        if name.startswith("fuzz_"):
+            wf = prefixed(wf, name)
         say(f"{name:10s} {len(wf)} finding(s)")
         # library methods are linted once per workload; keep one copy
-        findings.extend(f for f in wf if f not in findings)
+        for f in wf:
+            if f.key not in seen:
+                seen.add(f.key)
+                findings.append(f)
+    for path in asm_dirs:
+        wf = lint_asm_dir(path)
+        say(f"{path}: {len(wf)} finding(s)")
+        for f in wf:
+            if f.key not in seen:
+                seen.add(f.key)
+                findings.append(f)
     return findings
+
+
+def _findings_json(findings) -> list[dict]:
+    return [{"code": f.code, "severity": f.severity, "method": f.method,
+             "index": f.index, "message": f.message} for f in findings]
+
+
+def _findings_sarif(findings) -> dict:
+    used = sorted({f.code for f in findings})
+    return {
+        "version": "2.1.0",
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-lint",
+                "informationUri": "https://example.invalid/repro",
+                "rules": [{"id": code,
+                           "shortDescription": {"text": CODES[code][1]}}
+                          for code in used],
+            }},
+            "results": [{
+                "ruleId": f.code,
+                "level": _SARIF_LEVEL[f.severity],
+                "message": {"text": f.message},
+                "locations": [{"logicalLocations": [
+                    {"fullyQualifiedName": f"{f.method}@{f.index}"}]}],
+            } for f in findings],
+        }],
+    }
 
 
 def main(argv=None) -> int:
@@ -40,8 +107,14 @@ def main(argv=None) -> int:
         description="Static-analysis lint over the bundled workloads.",
     )
     parser.add_argument("--workloads", default=None,
-                        help="comma-separated workload subset "
+                        help="comma-separated workload subset; the groups "
+                             "'spec' and 'promoted' expand to the SpecJVM "
+                             "set and the fuzz-promoted set "
                              "(default: all bundled SpecJVM programs)")
+    parser.add_argument("--asm-dir", action="append", default=[],
+                        metavar="DIR",
+                        help="also lint every *.asm file under DIR "
+                             "(repeatable)")
     parser.add_argument("--scale", default="s0",
                         choices=("s0", "s1", "s10"),
                         help="workload build scale (default s0)")
@@ -55,21 +128,29 @@ def main(argv=None) -> int:
     parser.add_argument("--update-golden", default=None, metavar="FILE",
                         help="write the observed findings as the new golden")
     parser.add_argument("--json", default=None, metavar="FILE",
-                        help="dump findings as JSON")
+                        help="dump findings as JSON (shorthand for "
+                             "--format json --output FILE)")
+    parser.add_argument("--format", default="text",
+                        choices=("text", "json", "sarif"),
+                        help="report format (default text)")
+    parser.add_argument("--output", default=None, metavar="FILE",
+                        help="write the json/sarif report here "
+                             "(default stdout)")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
+    # With a machine format on stdout, keep the chatter off stdout.
+    machine_stdout = args.format != "text" and args.output is None
     say = (lambda msg: None) if args.quiet else (
-        lambda msg: print(msg, flush=True))
+        lambda msg: print(msg, flush=True,
+                          file=sys.stderr if machine_stdout else sys.stdout))
 
-    from ..workloads.base import SPEC_BENCHMARKS
-    workloads = (args.workloads.split(",") if args.workloads
-                 else list(SPEC_BENCHMARKS))
+    workloads = expand_workloads(args.workloads)
 
     status = 0
 
     if args.selftest:
-        rows = check_corpus()
+        rows = check_corpus() + check_race_corpus()
         bad = [r for r in rows if not r["ok"]]
         say(f"corpus: {len(rows) - len(bad)}/{len(rows)} cases caught")
         for r in bad:
@@ -78,7 +159,7 @@ def main(argv=None) -> int:
         if bad:
             status = 1
 
-    findings = _collect(workloads, args.scale, say)
+    findings = _collect(workloads, args.scale, say, asm_dirs=args.asm_dir)
     by_severity = Counter(f.severity for f in findings)
     for f in findings:
         say("  " + f.render())
@@ -88,16 +169,26 @@ def main(argv=None) -> int:
 
     if args.json:
         with open(args.json, "w") as fh:
-            json.dump([{"code": f.code, "severity": f.severity,
-                        "method": f.method, "index": f.index,
-                        "message": f.message} for f in findings],
-                      fh, indent=2)
+            json.dump(_findings_json(findings), fh, indent=2)
             fh.write("\n")
         say(f"wrote {args.json}")
+
+    if args.format != "text":
+        doc = (_findings_sarif(findings) if args.format == "sarif"
+               else _findings_json(findings))
+        if args.output:
+            with open(args.output, "w") as fh:
+                json.dump(doc, fh, indent=2)
+                fh.write("\n")
+            say(f"wrote {args.output}")
+        else:
+            json.dump(doc, sys.stdout, indent=2)
+            sys.stdout.write("\n")
 
     if args.update_golden:
         payload = {"workloads": sorted(workloads),
                    "scale": args.scale,
+                   "asm_dirs": sorted(args.asm_dir),
                    "findings": sorted(f.key for f in findings)}
         with open(args.update_golden, "w") as fh:
             json.dump(payload, fh, indent=2)

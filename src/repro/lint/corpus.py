@@ -223,6 +223,172 @@ def _codes_for(method: Method, program: Program | None) -> tuple[list[str], bool
     return codes, bool(result.errors)
 
 
+# -- planted races (whole programs, repro.analysis.concurrency) ---------------
+
+@dataclass(frozen=True)
+class RaceCase:
+    name: str
+    expected_code: str     # RC code that must fire, or "race-free"
+    description: str
+
+
+_RACE_FAMILY = ("RC001", "RC002", "RC003")
+
+
+def _link(pb: ProgramBuilder) -> Program:
+    from ..vm.library import ensure_library
+    program = pb.build(verify=True)
+    ensure_library(program)
+    return program
+
+
+def _shared_counter(synchronized: bool) -> Program:
+    """mtrt's shape: two worker threads add into one shared Result."""
+    pb = ProgramBuilder("race-counter", "T/Main")
+    res = pb.cls("T/Result")
+    res.field("total", "int")
+    res.method("<init>", 0, returns=False) \
+        .aload(0).iconst(0).putfield("T/Result", "total").return_()
+    res.method("add", 1, returns=False, synchronized=synchronized) \
+        .aload(0).aload(0).getfield("T/Result", "total").iload(1).iadd() \
+        .putfield("T/Result", "total").return_()
+    w = pb.cls("T/Worker", super_name="java/lang/Thread")
+    w.field("result", "ref")
+    w.method("<init>", 1, returns=False) \
+        .aload(0).aload(1).putfield("T/Worker", "result").return_()
+    w.method("run", 0, returns=False) \
+        .aload(0).getfield("T/Worker", "result").iconst(1) \
+        .invokevirtual("T/Result", "add", 1, False).return_()
+    mb = pb.cls("T/Main").method("main", 0, returns=False, static=True,
+                                 max_stack=8)
+    mb.new("T/Result").dup() \
+        .invokespecial("T/Result", "<init>", 0, False).astore(0)
+    for slot in (1, 2):
+        mb.new("T/Worker").dup().aload(0) \
+            .invokespecial("T/Worker", "<init>", 1, False).astore(slot) \
+            .aload(slot).invokevirtual("java/lang/Thread", "start", 0, False)
+    for slot in (1, 2):
+        mb.aload(slot).invokevirtual("java/lang/Thread", "join", 0, False)
+    mb.return_()
+    return _link(pb)
+
+
+def _static_counter(guarded: bool) -> Program:
+    """Two workers read-modify-write one static accumulator."""
+    pb = ProgramBuilder("race-static", "R/Main")
+    g = pb.cls("R/Globals")
+    g.static_field("acc", "int")
+    g.static_field("lock", "ref")
+    g.method("<init>", 0, returns=False).return_()
+    w = pb.cls("R/Worker", super_name="java/lang/Thread")
+    w.method("<init>", 0, returns=False).return_()
+    mb = w.method("run", 0, returns=False, max_stack=4)
+    if guarded:
+        mb.getstatic("R/Globals", "lock").monitorenter()
+    mb.getstatic("R/Globals", "acc").iconst(1).iadd() \
+        .putstatic("R/Globals", "acc")
+    if guarded:
+        mb.getstatic("R/Globals", "lock").monitorexit()
+    mb.return_()
+    mb = pb.cls("R/Main").method("main", 0, returns=False, static=True,
+                                 max_stack=4)
+    mb.new("R/Globals").dup() \
+        .invokespecial("R/Globals", "<init>", 0, False) \
+        .putstatic("R/Globals", "lock")
+    for slot in (0, 1):
+        mb.new("R/Worker").dup() \
+            .invokespecial("R/Worker", "<init>", 0, False).astore(slot) \
+            .aload(slot).invokevirtual("java/lang/Thread", "start", 0, False)
+    mb.return_()
+    return _link(pb)
+
+
+def _array_race() -> Program:
+    """Two workers store into the same shared static int array."""
+    pb = ProgramBuilder("race-array", "R/Main")
+    pb.cls("R/Globals").static_field("arr", "ref") \
+        .method("<init>", 0, returns=False).return_()
+    w = pb.cls("R/Worker", super_name="java/lang/Thread")
+    w.method("<init>", 0, returns=False).return_()
+    w.method("run", 0, returns=False, max_stack=4) \
+        .getstatic("R/Globals", "arr").iconst(0).iconst(7).iastore() \
+        .return_()
+    mb = pb.cls("R/Main").method("main", 0, returns=False, static=True,
+                                 max_stack=4)
+    mb.iconst(4).newarray(ArrayType.INT).putstatic("R/Globals", "arr")
+    for slot in (0, 1):
+        mb.new("R/Worker").dup() \
+            .invokespecial("R/Worker", "<init>", 0, False).astore(slot) \
+            .aload(slot).invokevirtual("java/lang/Thread", "start", 0, False)
+    mb.return_()
+    return _link(pb)
+
+
+def _single_locker() -> Program:
+    """A globally published box only main ever locks: RC004 territory."""
+    pb = ProgramBuilder("race-elide", "R/Main")
+    box = pb.cls("R/Box")
+    box.field("v", "int")
+    box.method("<init>", 0, returns=False).return_()
+    box.method("poke", 0, returns=False, synchronized=True) \
+        .aload(0).aload(0).getfield("R/Box", "v").iconst(1).iadd() \
+        .putfield("R/Box", "v").return_()
+    pb.cls("R/Globals").static_field("box", "ref") \
+        .method("<init>", 0, returns=False).return_()
+    mb = pb.cls("R/Main").method("main", 0, returns=False, static=True,
+                                 max_stack=4)
+    mb.new("R/Box").dup().invokespecial("R/Box", "<init>", 0, False) \
+        .putstatic("R/Globals", "box")
+    mb.getstatic("R/Globals", "box").invokevirtual("R/Box", "poke", 0, False)
+    mb.return_()
+    return _link(pb)
+
+
+_RACE_CASES = [
+    ("planted_field_race", "RC001",
+     "two threads add into a shared counter without a lock",
+     lambda: _shared_counter(synchronized=False)),
+    ("guarded_field_free", "race-free",
+     "the same counter behind a synchronized method is race-free",
+     lambda: _shared_counter(synchronized=True)),
+    ("planted_static_race", "RC002",
+     "unguarded read-modify-write of a static from two threads",
+     lambda: _static_counter(guarded=False)),
+    ("guarded_static_free", "race-free",
+     "the same static guarded by one global lock object is race-free",
+     lambda: _static_counter(guarded=True)),
+    ("planted_array_race", "RC003",
+     "two threads store into the same shared static array",
+     lambda: _array_race()),
+    ("single_locker_elidable", "RC004",
+     "a published box only one thread ever locks is statically elidable",
+     lambda: _single_locker()),
+]
+
+RACE_CASES = [RaceCase(n, c, d) for n, c, d, _f in _RACE_CASES]
+
+
+def check_race_corpus() -> list[dict]:
+    """Run the race detector over every planted-race program."""
+    from ..analysis.concurrency import analyze_program
+
+    rows = []
+    for name, expected, description, build in _RACE_CASES:
+        codes = [f.code for f in analyze_program(build()).all_findings()]
+        if expected == "race-free":
+            ok = not any(c in _RACE_FAMILY for c in codes)
+        else:
+            ok = expected in codes
+        rows.append({
+            "name": name,
+            "expected": expected,
+            "observed": codes,
+            "ok": ok,
+            "description": description,
+        })
+    return rows
+
+
 def check_corpus() -> list[dict]:
     """Run every case; each row reports expectation vs. observation."""
     rows = []

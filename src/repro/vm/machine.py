@@ -114,6 +114,8 @@ class JavaVM:
         folding: bool = False,
         jit_opt: bool = False,
         lock_elision: bool = False,
+        static_concurrency: bool = False,
+        track_confinement: bool = False,
     ) -> None:
         from .library import ensure_library  # local import: cycle avoidance
 
@@ -141,6 +143,11 @@ class JavaVM:
         self.lock_elision = lock_elision
         self._escape_summaries = None
         self._elision_plan: dict[int, frozenset] = {}
+        # Static concurrency summaries (analysis.concurrency): safe sites
+        # pre-seed tier-2 elision, racy sites are pre-blacklisted.
+        self.static_concurrency = static_concurrency
+        self._concurrency = None
+        self._concurrency_plan: dict[int, tuple] = {}
         self.profiler = Profiler() if profile else None
         if isinstance(self.strategy, TieredStrategy):
             # Tiering is profile-driven: the controller needs invocation
@@ -152,6 +159,12 @@ class JavaVM:
         else:
             self.tiered = None
         self.interp = Interpreter(self)
+        if track_confinement:
+            from .confinement import ConfinementTracker
+            self.confinement = ConfinementTracker(self)
+            self.confinement.install()
+        else:
+            self.confinement = None
         self.quantum = quantum
         self.max_bytecodes = max_bytecodes
         self.spawn_daemons = spawn_daemons
@@ -374,10 +387,33 @@ class JavaVM:
             self._elision_plan[method.method_id] = sites
         return sites
 
+    def concurrency_plan(self, method: Method) -> tuple:
+        """``(safe, racy)`` alloc-site sets from the concurrency analysis.
+
+        ``safe`` sites are elidable with no deopt risk (every thread that
+        can lock instances of the allocated class is the allocating
+        thread); ``racy`` sites are pre-blacklisted for speculation.
+        """
+        plan = self._concurrency_plan.get(method.method_id)
+        if plan is None:
+            if self._concurrency is None:
+                from ..analysis.concurrency import ConcurrencyAnalysis
+                if self._escape_summaries is None:
+                    from ..analysis.dataflow.escape import EscapeSummaries
+                    self._escape_summaries = EscapeSummaries(self.program)
+                self._concurrency = ConcurrencyAnalysis(
+                    self.program, escape=self._escape_summaries)
+            plan = (self._concurrency.safe_sites(method),
+                    self._concurrency.racy_sites(method))
+            self._concurrency_plan[method.method_id] = plan
+        return plan
+
     # ------------------------------------------------------------------
     # synchronization service
     # ------------------------------------------------------------------
     def monitor_enter(self, thread: JThread, obj) -> bool:
+        if self.confinement is not None:
+            self.confinement.note_enter(thread, obj)
         tl = getattr(obj, "tl_thread", None)
         if tl is not None:
             stats = self.lock_manager.stats

@@ -21,7 +21,7 @@ class JObject:
     """An instance of a :class:`JClass`."""
 
     __slots__ = ("jclass", "fields", "addr", "lock", "gc_mark",
-                 "tl_thread", "elide_depth", "tl_spec")
+                 "tl_thread", "elide_depth", "tl_spec", "alloc_site")
 
     def __init__(self, jclass: JClass, addr: int) -> None:
         self.jclass = jclass
@@ -41,6 +41,9 @@ class JObject:
         # elision was speculative rather than proven, so a foreign touch
         # can repair and deoptimize instead of counting a violation.
         self.tl_spec = None
+        # (method qualified name, site, allocating thread id) when the
+        # confinement tracker is on; None otherwise.
+        self.alloc_site = None
 
     @property
     def byte_size(self) -> int:
@@ -62,7 +65,8 @@ class JArray:
     primitive arrays, or the string ``"ref"`` for reference arrays."""
 
     __slots__ = ("atype", "elem_bytes", "data", "addr", "lock", "gc_mark",
-                 "ref_class", "tl_thread", "elide_depth", "tl_spec")
+                 "ref_class", "tl_thread", "elide_depth", "tl_spec",
+                 "alloc_site")
 
     def __init__(self, atype, length: int, addr: int, ref_class: JClass | None = None) -> None:
         if length < 0:
@@ -82,6 +86,7 @@ class JArray:
         self.tl_thread = None
         self.elide_depth = 0
         self.tl_spec = None
+        self.alloc_site = None
 
     @property
     def length(self) -> int:

@@ -151,10 +151,14 @@ class TieredController:
                     proven = pc in self.vm.elidable_sites(method)
                     sites.append((pc, proven))
             self._sync_alloc_sites[method.method_id] = sites
+        static_safe = static_racy = frozenset()
+        if self.vm.static_concurrency:
+            static_safe, static_racy = self.vm.concurrency_plan(method)
         for pc, proven in sites:
-            if proven:
+            if proven or pc in static_safe:
                 return True
-            if self.strategy.speculate and pc not in st.elide_blacklist:
+            if (self.strategy.speculate and pc not in st.elide_blacklist
+                    and pc not in static_racy):
                 return True
         return False
 
@@ -287,6 +291,15 @@ class TieredController:
         if site in self.vm.elidable_sites(method):
             obj.tl_thread = thread.thread_id
             return
+        if self.vm.static_concurrency:
+            safe, racy = self.vm.concurrency_plan(method)
+            if site in safe:
+                # Concurrency analysis proved every locker is the
+                # allocating thread: elide without speculation.
+                obj.tl_thread = thread.thread_id
+                return
+            if site in racy:
+                return   # pre-blacklisted: a foreign lock is expected
         if not self.strategy.speculate:
             return
         st = self.states.get(method.method_id)

@@ -6,11 +6,13 @@ import os
 
 import pytest
 
-from repro.lint import lint_workload
-from repro.lint.__main__ import main as lint_main
-from repro.lint.corpus import CASES, check_corpus
+from repro.lint import lint_asm_dir, lint_workload, prefixed
+from repro.lint.__main__ import _collect, main as lint_main
+from repro.lint.corpus import (CASES, RACE_CASES, check_corpus,
+                               check_race_corpus)
 
 _ROWS = {row["name"]: row for row in check_corpus()}
+_RACE_ROWS = {row["name"]: row for row in check_race_corpus()}
 
 
 @pytest.mark.parametrize("case", CASES, ids=lambda c: c.name)
@@ -41,15 +43,42 @@ def test_workloads_have_no_error_findings(workload):
     assert errors == []
 
 
+@pytest.mark.parametrize("case", RACE_CASES, ids=lambda c: c.name)
+def test_race_corpus_case_caught(case):
+    row = _RACE_ROWS[case.name]
+    assert row["ok"], (
+        f"{case.name}: expected {case.expected_code}, "
+        f"observed {row['observed']}"
+    )
+
+
+def test_race_corpus_has_planted_and_clean_cases():
+    codes = {c.expected_code for c in RACE_CASES}
+    assert {"RC001", "RC002", "RC003", "race-free"} <= codes
+
+
+def test_collect_dedups_repeated_workloads():
+    # library methods are linted once per workload; the (code, method,
+    # pc) key set must collapse the duplicates across workloads
+    once = _collect(["compress"], "s0", lambda m: None)
+    twice = _collect(["compress", "compress"], "s0", lambda m: None)
+    assert [f.key for f in twice] == [f.key for f in once]
+
+
 def test_golden_file_matches_current_findings():
-    path = os.path.join(os.path.dirname(__file__), os.pardir, "src",
-                        "repro", "lint", "golden_findings.json")
+    root = os.path.join(os.path.dirname(__file__), os.pardir)
+    path = os.path.join(root, "src", "repro", "lint",
+                        "golden_findings.json")
     with open(path) as fh:
         golden = json.load(fh)
     current = set()
     for name in golden["workloads"]:
-        current.update(f.key for f in lint_workload(name,
-                                                    scale=golden["scale"]))
+        findings = lint_workload(name, scale=golden["scale"])
+        if name.startswith("fuzz_"):
+            findings = prefixed(findings, name)
+        current.update(f.key for f in findings)
+    for rel in golden.get("asm_dirs", ()):
+        current.update(f.key for f in lint_asm_dir(os.path.join(root, rel)))
     assert current == set(golden["findings"])
 
 
@@ -64,3 +93,16 @@ def test_cli_json_output(tmp_path):
                       "--json", str(out)]) == 0
     data = json.loads(out.read_text())
     assert any(f["code"] == "RL002" for f in data)
+
+
+def test_cli_sarif_output(tmp_path):
+    out = tmp_path / "findings.sarif"
+    assert lint_main(["--quiet", "--workloads", "mtrt",
+                      "--format", "sarif", "--output", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    rules = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert "RC005" in rules
+    assert any(r["ruleId"] == "RC005" and r["level"] == "note"
+               for r in run["results"])
