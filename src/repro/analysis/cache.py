@@ -167,6 +167,9 @@ def cache_key(kind: str, /, *, root: str | None = None, **fields) -> str:
 _STAT_FIELDS = (
     "trace_hits", "trace_misses", "run_hits", "run_misses",
     "corrupt", "stores", "quarantined", "locks_broken",
+    # Shared compiled-code archive (repro.vm.codecache_archive); kept
+    # here so pool workers ship them parent-side with the other fields.
+    "code_hits", "code_misses", "code_stores", "code_evicted",
 )
 _TIME_FIELDS = ("lookup_seconds", "store_seconds")
 
@@ -266,6 +269,15 @@ def _pid_alive(pid: int) -> bool:
     return True
 
 
+def _read_pid(path: str) -> int | None:
+    """The pid recorded in a lock file, or ``None`` if unreadable."""
+    try:
+        with open(path) as fh:
+            return int(fh.read().strip() or "0") or None
+    except (OSError, ValueError):
+        return None
+
+
 class FileLock:
     """Pid-file advisory lock guarding one cache entry.
 
@@ -314,18 +326,19 @@ class FileLock:
     def __exit__(self, *exc) -> None:
         if self._held:
             self._held = False
-            try:
-                os.remove(self.lock_path)
-            except OSError:  # pragma: no cover - broken by a waiter
-                pass
+            # Only remove a lock file that still records *our* pid: if a
+            # waiter force-broke this lock and re-acquired, the file on
+            # disk is theirs now and removing it would hand the entry to
+            # a third contender.
+            if _read_pid(self.lock_path) == os.getpid():
+                try:
+                    os.remove(self.lock_path)
+                except OSError:  # pragma: no cover - broken by a waiter
+                    pass
 
     # -- stale detection ----------------------------------------------
     def _owner_pid(self) -> int | None:
-        try:
-            with open(self.lock_path) as fh:
-                return int(fh.read().strip() or "0") or None
-        except (OSError, ValueError):
-            return None
+        return _read_pid(self.lock_path)
 
     def _age(self) -> float:
         try:
@@ -349,10 +362,39 @@ class FileLock:
             kind, reason = "lock_break", "unreadable"
         else:
             kind, reason = "lock_break", "dead-owner"
+        # Commit point: capture the lock file with an atomic rename.  Of
+        # all the waiters that concluded "stale", exactly one wins the
+        # rename; the losers see ENOENT and go back to the acquire loop,
+        # where they observe either no lock or the winner's fresh one.
+        # A bare ``os.remove`` here let a *slow* waiter — one that
+        # probed the dead owner, then got descheduled while the winner
+        # broke the lock and re-acquired — delete the winner's fresh
+        # live lock, putting two processes inside the critical section.
+        grave = f"{self.lock_path}.break-{os.getpid()}-{next(_TMP_IDS)}"
         try:
-            os.remove(self.lock_path)
+            os.rename(self.lock_path, grave)
         except OSError:
             return False  # released or broken by someone else first
+        captured = _read_pid(grave)
+        if captured is not None and captured != owner and _pid_alive(captured):
+            # We captured a lock *re-acquired* by a live owner between
+            # our staleness probe and the rename.  Give it back: ``link``
+            # is atomic, so if yet another contender re-created the lock
+            # file meanwhile the restore is abandoned and the displaced
+            # owner's ownership-checked release stays a no-op.
+            try:
+                os.link(grave, self.lock_path)
+            except OSError:
+                pass
+            try:
+                os.remove(grave)
+            except OSError:  # pragma: no cover - grave name is private
+                pass
+            return False
+        try:
+            os.remove(grave)
+        except OSError:  # pragma: no cover - grave name is private
+            pass
         STATS.count("locks_broken")
         faults.note_recovery(kind, reason=reason,
                              entry=os.path.basename(self.lock_path))
@@ -570,7 +612,8 @@ def prune(cache_dir: str | None = None) -> int:
         if not os.path.isdir(directory):
             continue
         for name in os.listdir(directory):
-            if name.endswith(".lock") or name.startswith(".tmp-"):
+            if (name.endswith(".lock") or name.startswith(".tmp-")
+                    or ".lock.break-" in name):
                 try:
                     os.remove(os.path.join(directory, name))
                     removed += 1

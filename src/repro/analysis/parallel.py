@@ -225,6 +225,14 @@ def _worker_init(path: list, fault_plan: str | None = None) -> None:
     for entry in reversed(path):
         if entry not in sys.path:
             sys.path.insert(0, entry)
+    # A worker process can outlive many jobs while sources change under
+    # it (watch-style drivers, test suites editing fixtures): drop the
+    # source-digest memo so cache keys — including the shared code
+    # archive's — are computed against the sources as they are *now*,
+    # not as they were when some earlier worker generation first hashed
+    # them.  A stale digest would let the archive serve native code
+    # compiled from old sources.
+    cache.reset_source_digest()
     if fault_plan:
         faults.activate(fault_plan)
 

@@ -89,6 +89,7 @@ def run_vm(
     jit_opt: bool = False,
     lock_elision: bool = False,
     cache_dir: str | None = None,
+    code_archive: str | None = None,
 ) -> VMResult:
     """Build a fresh VM for the workload and run it to completion.
 
@@ -97,9 +98,18 @@ def run_vm(
     (``cache_dir=None`` resolves ``REPRO_TRACE_CACHE`` at call time;
     pass ``""`` to force a fresh run).  Runs are deterministic, so a
     cached result is byte-identical to a fresh one.
+
+    ``code_archive`` names a shared compiled-code archive directory
+    (``None`` resolves ``REPRO_CODE_ARCHIVE``; ``""`` disables).
+    Archive-enabled runs bypass the run-*result* cache: whether the
+    archive is warm changes the translate/install split a fresh run
+    reports, so serving a pickled cold result would misreport it.
     """
+    from ..vm.codecache_archive import resolve_archive_dir
+    archive_dir = resolve_archive_dir(code_archive)
     token = mode_token(mode)
-    resolved = None if record or token is None else cache.resolve_dir(cache_dir)
+    resolved = (None if record or token is None or archive_dir
+                else cache.resolve_dir(cache_dir))
     path = None
     if resolved:
         key = cache.cache_key(
@@ -130,6 +140,7 @@ def run_vm(
         folding=folding,
         jit_opt=jit_opt,
         lock_elision=lock_elision,
+        code_archive=archive_dir or "",
     )
     result = vm.run()
     if path:

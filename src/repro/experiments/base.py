@@ -142,4 +142,5 @@ def _ensure_imported() -> None:
         table3,
         ablations,
         tiered,
+        codecache,
     )

@@ -1,0 +1,420 @@
+"""Persistent cross-process shared JIT code archive (ShareJIT-style).
+
+The paper's Figure 1 shows the translate portion dominating start-up
+cycles and write misses; re-translating every method in every VM
+instance (and every pool worker) repeats exactly that work.  Following
+ShareJIT (PAPERS.md, arXiv 1810.09555), this module persists compiled
+:class:`~repro.vm.jit.chunks.CompiledMethod` bodies in a
+content-addressed on-disk archive so later VMs *install* them — a
+streaming copy into the code cache priced at
+:meth:`~repro.vm.jit.translate_stubs.TranslateStubs.emit_install` —
+instead of re-running the translator.
+
+Sharing compiled code across VMs is only sound if everything the
+compiler baked into the chunks is part of the address.  The entry key
+therefore covers
+
+- the source digest of every trace-affecting module (via
+  :func:`repro.analysis.cache.cache_key` — editing the VM invalidates
+  the whole archive),
+- the method's identity and bytecode (opcode/operand stream),
+- the compiler configuration (tier, effective optimize flag, inlining,
+  CHA speculation mode and blacklist), and
+- the *link context*: resolved static-field addresses that get baked
+  into chunk effective addresses, plus the inlining decision (target,
+  field offsets, speculative or proven) at every call site.
+
+Computing that signature performs the same pool resolutions, in the
+same order, that translation itself would — on hits *and* misses —
+so archive-enabled runs resolve and load classes identically whether
+they translate or install, and cold/warm runs produce byte-identical
+execution traces.
+
+Storage reuses the trace-cache machinery in
+:mod:`repro.analysis.cache`: pid-file locks, atomic writes, sha256
+digest sidecars verified on load, and quarantine-and-recompile on
+corruption — a corrupt archive entry is never executed.  Eviction is
+size-capped LRU over entry mtimes (hits touch their entry), bounded by
+``REPRO_CODE_ARCHIVE_LIMIT`` bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import time
+
+import numpy as np
+
+from .. import faults
+from ..analysis import cache
+from ..isa.opcodes import Op, OPINFO
+from ..native.template import Template
+from ..obs import TRACER
+from .jit.chunks import Chunk, CompiledMethod, InlineSite
+from .jit.inline import inline_field_offsets, is_inlinable
+
+#: Payload schema version; bump on layout changes (defense in depth —
+#: the source digest in the key already invalidates on code edits).
+SCHEMA = 1
+
+ENV_VAR = "REPRO_CODE_ARCHIVE"
+LIMIT_ENV_VAR = "REPRO_CODE_ARCHIVE_LIMIT"
+DEFAULT_LIMIT_BYTES = 64 * 1024 * 1024
+
+#: Run the (cheap) eviction scan every this many stores.
+_GC_EVERY = 16
+
+#: Template array fields serialized verbatim (numpy arrays).
+_ARRAY_FIELDS = ("pc", "cat", "ea", "flags", "target", "dst", "src1",
+                 "src2", "patch_ea", "patch_taken", "patch_target")
+
+
+def default_archive_dir() -> str | None:
+    """Archive directory from the environment; unset/empty disables."""
+    return os.environ.get(ENV_VAR, "") or None
+
+
+def resolve_archive_dir(arg: str | None) -> str | None:
+    """``None`` means "use the environment default"; an empty string (or
+    any falsy value) disables the archive — same contract as
+    :func:`repro.analysis.cache.resolve_dir`."""
+    if arg is None:
+        return default_archive_dir()
+    return arg or None
+
+
+def archive_limit_bytes() -> int:
+    try:
+        return int(os.environ.get(LIMIT_ENV_VAR, "") or DEFAULT_LIMIT_BYTES)
+    except ValueError:  # pragma: no cover - bad env value
+        return DEFAULT_LIMIT_BYTES
+
+
+class _Unshareable(Exception):
+    """The method's link context cannot be reproduced here; treat the
+    archive entry as absent (never as an error)."""
+
+
+# -- link-context signature --------------------------------------------
+
+def _bytecode_signature(method) -> list:
+    return [(int(i.op), i.a, i.b, repr(i.extra)) for i in method.code]
+
+
+def _inline_signature(compiler, method, idx, instr, speculate_cha,
+                      cha_blacklist) -> tuple:
+    """Mirror :meth:`JITCompiler._try_inline`'s decision (and its
+    resolution side effects) without generating code."""
+    ref = method.pool[instr.a]
+    base = ("call", ref.class_name, ref.method_name, ref.argc)
+    if not compiler.inline_enabled:
+        return base
+    speculative = False
+    if instr.op is Op.INVOKEVIRTUAL:
+        target = compiler.hierarchy.unique_target(
+            ref.class_name, ref.method_name)
+        if (target is None and speculate_cha
+                and (ref.class_name, ref.method_name) not in cha_blacklist):
+            target = compiler.hierarchy.unique_loaded_target(
+                ref.class_name, ref.method_name)
+            speculative = target is not None
+    else:
+        try:
+            target = compiler.loader.resolve_method(method.jclass, instr.a)
+        except Exception:
+            return base
+    if target is None or not is_inlinable(target):
+        return base
+    offsets = inline_field_offsets(target, compiler.loader)
+    if offsets is None:
+        return base
+    has_receiver = instr.op is not Op.INVOKESTATIC
+    if not has_receiver and offsets:
+        return base
+    return ("inline", target.qualified_name, tuple(offsets), speculative)
+
+
+def link_signature(compiler, method, *, optimize: bool,
+                   speculate_cha: bool, cha_blacklist: frozenset) -> str:
+    """Digest of everything translation would bake into the chunks.
+
+    Walks the bytecode exactly like ``JITCompiler._translate`` — same
+    reachability skips, same pool resolutions in the same order — so
+    computing the key is observationally identical (loader charges,
+    class loading) to starting a translation.  That property is what
+    keeps cold and warm runs cycle-identical outside the
+    translate/install split.
+    """
+    parts: list = [
+        SCHEMA, method.qualified_name, method.argc, method.max_locals,
+        int(method.is_static), int(method.is_synchronized),
+        bool(optimize), bool(compiler.inline_enabled),
+        bool(speculate_cha), sorted(cha_blacklist),
+        _bytecode_signature(method),
+    ]
+    for idx, instr in enumerate(method.code):
+        if method.depth_in[idx] < 0:    # unreachable: _translate skips too
+            continue
+        kind = OPINFO[instr.op].kind
+        if kind == "field" and instr.op in (Op.GETSTATIC, Op.PUTSTATIC):
+            owner, fname = compiler.loader.resolve_field(
+                method.jclass, instr.a)
+            parts.append(
+                ("static", idx, owner.name, fname, owner.static_addr[fname]))
+        elif kind == "invoke":
+            parts.append((idx,) + _inline_signature(
+                compiler, method, idx, instr, speculate_cha, cha_blacklist))
+    return hashlib.sha256(repr(parts).encode()).hexdigest()
+
+
+# -- CompiledMethod (de)serialization ----------------------------------
+
+def _template_payload(template: Template) -> dict:
+    d = {f: getattr(template, f) for f in _ARRAY_FIELDS}
+    d["name"] = template.name
+    return d
+
+
+def _chunk_payload(chunk: Chunk | None) -> dict | None:
+    if chunk is None:
+        return None
+    d = _template_payload(chunk.template)
+    d["ea_plan"] = chunk.ea_plan
+    return d
+
+
+def serialize_compiled(compiled: CompiledMethod) -> dict:
+    """Position-annotated payload for one compiled method.  Methods are
+    referenced by qualified name (resolved against the installing VM's
+    program), never pickled."""
+    return {
+        "schema": SCHEMA,
+        "name": compiled.method.qualified_name,
+        "entry_pc": compiled.entry_pc,
+        "end_pc": compiled.end_pc,
+        "prologue": _chunk_payload(compiled.prologue),
+        "chunks": [_chunk_payload(c) for c in compiled.chunks],
+        "inline_info": [
+            (idx, site.target.qualified_name, site.field_offsets)
+            for idx, site in compiled.inline_info.items()
+        ],
+        "assumptions": [
+            (cname, mname, target.qualified_name)
+            for cname, mname, target in compiled.assumptions
+        ],
+    }
+
+
+def _find_method(program, qualified_name: str):
+    cname, _, mname = qualified_name.rpartition(".")
+    jclass = program.classes.get(cname)
+    method = jclass.find_method(mname) if jclass is not None else None
+    if method is None:
+        raise _Unshareable(qualified_name)
+    return method
+
+
+def _rebased_chunk(payload: dict, old_entry: int, old_end: int,
+                   delta: int) -> Chunk:
+    arrays = {f: np.array(payload[f]) for f in _ARRAY_FIELDS}
+    arrays["pc"] = arrays["pc"] + delta
+    # Method-internal addresses — chunk pcs in branch targets, embedded
+    # switch tables in effective addresses — move with the body.  Baked
+    # static-field addresses live in the (disjoint) VM data region and
+    # the 0 placeholders of patch slots and bounds-check targets sit
+    # below it, so the window test leaves both alone.
+    for field in ("ea", "target"):
+        arr = arrays[field]
+        window = (arr >= old_entry) & (arr < old_end)
+        if window.any():
+            arr[window] += delta
+    template = Template(name=payload["name"], **arrays)
+    return Chunk(template, payload.get("ea_plan"))
+
+
+def materialize_compiled(payload: dict, method, program,
+                         code_cache) -> CompiledMethod:
+    """Rebuild a :class:`CompiledMethod` at a freshly allocated position
+    in this VM's code cache.  Raises :class:`_Unshareable` when a
+    referenced method does not exist in this program."""
+    old_entry = payload["entry_pc"]
+    old_end = payload["end_pc"]
+    n_words = (old_end - old_entry) // 4
+    new_entry = code_cache.region.alloc(n_words)
+    delta = new_entry - old_entry
+
+    inline_info = {}
+    for idx, target_qn, offsets in payload["inline_info"]:
+        inline_info[idx] = InlineSite(_find_method(program, target_qn),
+                                      offsets)
+    assumptions = tuple(
+        (cname, mname, _find_method(program, target_qn))
+        for cname, mname, target_qn in payload["assumptions"]
+    )
+    prologue = _rebased_chunk(payload["prologue"], old_entry, old_end, delta)
+    chunks = [
+        None if c is None else _rebased_chunk(c, old_entry, old_end, delta)
+        for c in payload["chunks"]
+    ]
+    compiled = CompiledMethod(method, chunks, prologue, new_entry,
+                              old_end + delta, inline_info)
+    compiled.assumptions = assumptions
+    return compiled
+
+
+# -- the archive -------------------------------------------------------
+
+class _EntryRef:
+    """Resolved address of one archive entry: key plus on-disk path."""
+
+    __slots__ = ("key", "path")
+
+    def __init__(self, key: str, path: str) -> None:
+        self.key = key
+        self.path = path
+
+
+class CodeArchive:
+    """One VM's handle on a shared on-disk compiled-code archive."""
+
+    def __init__(self, directory: str,
+                 limit_bytes: int | None = None) -> None:
+        self.directory = directory
+        self.limit_bytes = (archive_limit_bytes() if limit_bytes is None
+                            else limit_bytes)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self._stores_since_gc = 0
+
+    # -- addressing ----------------------------------------------------
+    def entry_for(self, compiler, method, *, tier: int,
+                  optimize: bool | None = None,
+                  speculate_cha: bool = False,
+                  cha_blacklist: frozenset = frozenset()) -> _EntryRef:
+        effective_opt = (compiler.optimize_enabled if optimize is None
+                         else optimize)
+        sig = link_signature(
+            compiler, method, optimize=effective_opt,
+            speculate_cha=speculate_cha, cha_blacklist=cha_blacklist)
+        key = cache.cache_key("code", signature=sig, tier=tier)
+        safe = method.qualified_name.replace("/", "_").replace(":", "_")
+        path = os.path.join(self.directory, "code",
+                            f"{safe}-t{tier}-{key[:16]}.pkl")
+        return _EntryRef(key, path)
+
+    def probe(self, compiler, method, *, tier: int,
+              optimize: bool | None = None) -> bool:
+        """Existence check (no counters) for promotion pricing."""
+        entry = self.entry_for(compiler, method, tier=tier,
+                               optimize=optimize)
+        return os.path.exists(entry.path)
+
+    # -- load ----------------------------------------------------------
+    def load(self, entry: _EntryRef, method, compiler) -> CompiledMethod | None:
+        """The archived compiled method, installed into this VM's code
+        cache; ``None`` on miss, corruption (quarantined), or an
+        unreproducible link context."""
+        if faults.ACTIVE is not None:
+            faults.ACTIVE.on_io("load")
+        started = time.perf_counter()
+        outcome = "hit"
+        compiled = None
+        try:
+            payload = pickle.loads(cache._read_verified(entry.path))
+            if payload.get("schema") != SCHEMA:
+                raise cache.CorruptEntry(os.path.basename(entry.path))
+            compiled = materialize_compiled(
+                payload, method, compiler.hierarchy.program,
+                compiler.code_cache)
+        except FileNotFoundError:
+            outcome = "miss"
+        except _Unshareable:
+            outcome = "miss"
+        except cache._CORRUPT_ERRORS:
+            outcome = "corrupt"
+            cache.STATS.count("corrupt")
+            cache._quarantine(entry.path)
+        if compiled is None:
+            self.misses += 1
+            cache.STATS.count("code_misses")
+        else:
+            self.hits += 1
+            cache.STATS.count("code_hits")
+            try:
+                os.utime(entry.path)    # LRU recency for eviction
+            except OSError:  # pragma: no cover - raced with eviction
+                pass
+        elapsed = time.perf_counter() - started
+        cache.STATS.time("lookup_seconds", elapsed)
+        if TRACER.enabled:
+            TRACER.emit("cache.lookup", elapsed, kind="code",
+                        outcome=outcome)
+            TRACER.add(f"cache.code_{outcome}")
+        return compiled
+
+    # -- store ---------------------------------------------------------
+    def store(self, entry: _EntryRef, compiled: CompiledMethod) -> None:
+        started = time.perf_counter()
+        blob = pickle.dumps(serialize_compiled(compiled),
+                            protocol=pickle.HIGHEST_PROTOCOL)
+        cache._store_bytes(entry.path, blob)
+        self.stores += 1
+        cache.STATS.count("code_stores")
+        elapsed = time.perf_counter() - started
+        cache.STATS.time("store_seconds", elapsed)
+        if TRACER.enabled:
+            TRACER.emit("cache.store", elapsed, kind="code")
+        self._stores_since_gc += 1
+        if self._stores_since_gc >= _GC_EVERY:
+            self._stores_since_gc = 0
+            self.gc()
+
+    # -- eviction ------------------------------------------------------
+    def gc(self, limit_bytes: int | None = None) -> int:
+        """Evict least-recently-used entries until the archive fits the
+        size budget; returns the number of entries evicted.  Hits touch
+        their entry's mtime, so recency tracks use, not creation."""
+        limit = self.limit_bytes if limit_bytes is None else limit_bytes
+        directory = os.path.join(self.directory, "code")
+        entries = []
+        try:
+            names = os.listdir(directory)
+        except OSError:
+            return 0
+        for name in names:
+            if not name.endswith(".pkl"):
+                continue
+            path = os.path.join(directory, name)
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue
+            entries.append((st.st_mtime, st.st_size, path))
+        total = sum(size for _, size, _ in entries)
+        entries.sort()
+        evicted = 0
+        while entries and total > limit:
+            _, size, path = entries.pop(0)
+            with cache.FileLock(path):
+                try:
+                    os.remove(path)
+                except OSError:
+                    continue
+                try:
+                    os.remove(cache._digest_path(path))
+                except OSError:
+                    pass
+            total -= size
+            evicted += 1
+            cache.STATS.count("code_evicted")
+        if evicted and TRACER.enabled:
+            TRACER.add("cache.code_evicted", evicted)
+        return evicted
+
+    # -- reporting -----------------------------------------------------
+    def counters(self) -> dict:
+        return {"dir": self.directory, "hits": self.hits,
+                "misses": self.misses, "stores": self.stores}

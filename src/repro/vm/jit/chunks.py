@@ -59,6 +59,8 @@ class CompiledMethod:
         "code_bytes",
         "inline_info",
         "translate_cycles",
+        "install_cycles",
+        "from_archive",
         "tier",
         "assumptions",
     )
@@ -74,6 +76,11 @@ class CompiledMethod:
         #: instruction index -> InlineSite for inlined call sites
         self.inline_info = inline_info or {}
         self.translate_cycles = 0       # filled by the compiler
+        #: install-path subset of translate_cycles (archive hits only)
+        self.install_cycles = 0
+        #: True when this body was installed from the shared code
+        #: archive instead of translated here
+        self.from_archive = False
         #: compilation tier (0 = the single-tier legacy JIT)
         self.tier = 0
         #: speculative CHA facts this code depends on:

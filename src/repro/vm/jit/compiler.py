@@ -84,6 +84,11 @@ class JITCompiler:
         self.inline_enabled = inline
         self.optimize_enabled = optimize
         self.stubs = shared_translate_stubs()
+        #: shared compiled-code archive (repro.vm.codecache_archive),
+        #: attached by the VM when REPRO_CODE_ARCHIVE / code_archive is set
+        self.archive = None
+        self.methods_installed = 0
+        self.install_cycles_total = 0
         self.methods_compiled = 0
         self.bytecodes_compiled = 0
         self.native_instructions_emitted = 0
@@ -124,6 +129,19 @@ class JITCompiler:
         self._cha_blacklist = cha_blacklist
         self._assumptions = []
         try:
+            entry = None
+            if self.archive is not None:
+                # Addressing the archive performs the same resolutions,
+                # in the same order, that translation would — on hits
+                # *and* misses — so archive-enabled runs stay
+                # cycle-identical outside the translate/install split.
+                entry = self.archive.entry_for(
+                    self, method, tier=tier, optimize=optimize,
+                    speculate_cha=speculate_cha,
+                    cha_blacklist=cha_blacklist)
+                archived = self.archive.load(entry, method, self)
+                if archived is not None:
+                    return self._install_archived(archived, method, tier)
             if not TRACER.enabled:
                 compiled = self._translate(method)
             else:
@@ -135,12 +153,36 @@ class JITCompiler:
                     sp.attrs["bytecodes"] = len(method.code)
             compiled.tier = tier
             compiled.assumptions = tuple(self._assumptions)
+            if entry is not None:
+                self.archive.store(entry, compiled)
             return compiled
         finally:
             self._opt_override = None
             self._speculate_cha = False
             self._cha_blacklist = frozenset()
             self._assumptions = []
+
+    def _install_archived(self, compiled: CompiledMethod, method: Method,
+                          tier: int) -> CompiledMethod:
+        """Finish an archive hit: charge the install-path cycles (the
+        cheap subset of the translate portion) and install the body."""
+        if not TRACER.enabled:
+            cycles = self.stubs.emit_install(self.sink, compiled)
+        else:
+            with TRACER.span("vm.jit.install",
+                             method=method.qualified_name, tier=tier) as sp:
+                cycles = self.stubs.emit_install(self.sink, compiled)
+                sp.attrs["install_cycles"] = cycles
+                sp.attrs["bytecodes"] = len(method.code)
+        compiled.tier = tier
+        compiled.translate_cycles = cycles
+        compiled.install_cycles = cycles
+        compiled.from_archive = True
+        self.code_cache.install(compiled)
+        self.methods_installed += 1
+        self.install_cycles_total += cycles
+        self.inlined_sites += len(compiled.inline_info)
+        return compiled
 
     def _translate(self, method: Method) -> CompiledMethod:
         assert not method.is_native, "native methods are never JIT-compiled"

@@ -115,6 +115,27 @@ class TranslateStubs:
         b.store(src1=REG_TMP0, src2=REG_ARG1, ea=PATCH)    # install (write miss!)
         self.emit_instr = b.build(region=region)
 
+        # Archive install: stream one pre-compiled word from the staged
+        # archive image into the code cache.  The code-cache store is
+        # the same compulsory write miss a fresh translation pays, but
+        # none of the driver/generator work happens — this gap is the
+        # whole warm-start win the shared code archive measures.
+        b = TemplateBuilder("xlate:install", base_flags=FLAG_TRANSLATE)
+        b.load(dst=REG_TMP0, src1=REG_ARG0, ea=PATCH)      # archived word
+        b.store(src1=REG_TMP0, src2=REG_ARG1, ea=PATCH)    # install (write miss!)
+        self.install_instr = b.build(region=region)
+
+        # Per-method install overhead: open/verify the archive entry and
+        # relocate method-internal addresses onto the local code cache.
+        b = TemplateBuilder("xlate:install-method", base_flags=FLAG_TRANSLATE)
+        b.ialu(dst=REG_TMP0, src1=REG_TMP1, n=8)
+        b.load(dst=REG_TMP1, src1=REG_TMP0, ea=PATCH)      # entry header
+        b.ialu(dst=REG_TMP1, src1=REG_TMP1, n=4)
+        b.load(dst=REG_TMP2, src1=REG_TMP0, ea=PATCH)      # relocation table
+        b.ialu(dst=REG_TMP2, src1=REG_TMP2, n=4)
+        b.instr(NCat.RET, target=PATCH)
+        self.install_overhead = b.build(region=region)
+
         # Per-method overhead: register allocation, branch fixups, flush.
         b = TemplateBuilder("xlate:method", base_flags=FLAG_TRANSLATE)
         b.ialu(dst=REG_TMP0, src1=REG_TMP1, n=48)
@@ -164,6 +185,27 @@ class TranslateStubs:
             (),
             (0,),
         )
+        return sink.cycles - before
+
+    def emit_install(self, sink, compiled) -> int:
+        """Emit the archive-install trace for one compiled method: a
+        load/store pair per installed native instruction plus a fixed
+        per-method relocation pass.  Everything carries
+        ``FLAG_TRANSLATE`` — installs are the translate portion's cheap
+        path, and callers account them as the install subset of it.
+        """
+        before = sink.cycles
+        stage = WORK_AREA_BASE
+        templates = [compiled.prologue.template] + [
+            c.template for c in compiled.chunks if c is not None
+        ]
+        i = 0
+        for template in templates:
+            for pc in template.pc:
+                sink.emit(self.install_instr,
+                          (stage + (4 * i) % WORK_AREA_BYTES, int(pc)))
+                i += 1
+        sink.emit(self.install_overhead, (stage, stage + 16), (), (0,))
         return sink.cycles - before
 
 

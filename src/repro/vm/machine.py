@@ -60,6 +60,10 @@ class VMResult:
         self.category_counts = sink.cat_counts.copy()
         self.bytecodes_executed = sum(t.bytecodes_executed for t in vm.threads)
         self.methods_compiled = vm.jit.methods_compiled
+        self.methods_installed = vm.jit.methods_installed
+        self.install_cycles = vm.jit.install_cycles_total
+        self.archive = (vm.jit.archive.counters()
+                        if vm.jit.archive is not None else None)
         self.inlined_sites = vm.jit.inlined_sites
         self.dead_stores_eliminated = vm.jit.dead_stores_eliminated
         self.spill_stores_eliminated = vm.jit.spill_stores_eliminated
@@ -116,6 +120,7 @@ class JavaVM:
         lock_elision: bool = False,
         static_concurrency: bool = False,
         track_confinement: bool = False,
+        code_archive: str | None = None,
     ) -> None:
         from .library import ensure_library  # local import: cycle avoidance
 
@@ -139,6 +144,10 @@ class JavaVM:
         self.jit = JITCompiler(self.loader, self.code_cache, self.sink,
                                self.hierarchy, inline=inline,
                                optimize=jit_opt)
+        from .codecache_archive import CodeArchive, resolve_archive_dir
+        archive_dir = resolve_archive_dir(code_archive)
+        if archive_dir:
+            self.jit.archive = CodeArchive(archive_dir)
         self.jit_opt = jit_opt
         self.lock_elision = lock_elision
         self._escape_summaries = None
@@ -182,6 +191,11 @@ class JavaVM:
         self.dispatch_seconds = [0.0, 0.0, 0.0, 0.0]
         self.dispatch_counts = [0, 0, 0, 0]
         self._interned: dict[str, JString] = {}
+        # java/lang/Thread instance -> JThread, maintained at thread
+        # creation (JObject is identity-hashed, so this is an identity
+        # map).  thread_for sits on the join/isAlive sync path; a linear
+        # scan over self.threads scales O(threads) per call.
+        self._thread_by_obj: dict[JObject, JThread] = {}
         self._compiled: dict[int, object] = {}   # method_id -> CompiledMethod
         self._translate_overhead = 0
         self._booted = False
@@ -220,6 +234,7 @@ class JavaVM:
                 obj = self.heap.new_object(cls)
                 t = JThread(name.split("/")[-1].lower(), daemon=True)
                 t.java_obj = obj
+                self._thread_by_obj[obj] = t
                 run = cls.find_method("run")
                 self.threads.append(t)
                 if self.profiler:
@@ -278,6 +293,8 @@ class JavaVM:
                 execute_cycles=result.execute_cycles,
                 bytecodes=result.bytecodes_executed,
                 methods_compiled=result.methods_compiled,
+                methods_installed=result.methods_installed,
+                install_cycles=result.install_cycles,
             )
             if self.tiered is not None:
                 counters = self.tiered.counters()
@@ -329,6 +346,7 @@ class JavaVM:
             raise VMError(f"{java_obj.jclass.name} has no bytecode run()")
         thread = JThread(java_obj.jclass.name)
         thread.java_obj = java_obj
+        self._thread_by_obj[java_obj] = thread
         java_obj.fields["_tid"] = thread.thread_id
         self.threads.append(thread)
         frame = thread.push_frame(run)
@@ -339,10 +357,7 @@ class JavaVM:
         return thread
 
     def thread_for(self, java_obj: JObject) -> JThread | None:
-        for t in self.threads:
-            if t.java_obj is java_obj:
-                return t
-        return None
+        return self._thread_by_obj.get(java_obj)
 
     # ------------------------------------------------------------------
     # compilation service
@@ -366,11 +381,19 @@ class JavaVM:
         if self.strategy.should_compile(method, n):
             compiled = self.jit.compile(method)
             self._compiled[method.method_id] = compiled
-            self._translate_overhead += compiled.translate_cycles
-            if self.profiler:
-                self.profiler.note_translate(method, compiled.translate_cycles)
+            self._account_translation(method, compiled)
             return compiled
         return None
+
+    def _account_translation(self, method: Method, compiled) -> None:
+        """Single choke point for translate/install charging.  The
+        strategy-compile path, the tiered promotion path, and the
+        archive-install path all account here, so the Figure 1
+        translate/execute split cannot drift between modes."""
+        self._translate_overhead += compiled.translate_cycles
+        if self.profiler:
+            self.profiler.note_translate(method, compiled.translate_cycles,
+                                         installed=compiled.from_archive)
 
     # ------------------------------------------------------------------
     # lock elision (escape analysis)
@@ -509,7 +532,9 @@ class JavaVM:
             "vm_text": self.stubs.text_bytes,
             "jumptable": 4 * 220,
             "code_cache": self.code_cache.used_bytes,
-            "jit_text": self.jit.stubs.text_bytes if self.jit.methods_compiled else 0,
+            "jit_text": (self.jit.stubs.text_bytes
+                         if self.jit.methods_compiled
+                         or self.jit.methods_installed else 0),
             "jit_work": self.jit.peak_work_bytes,
         }
         components["interpreter_total"] = (

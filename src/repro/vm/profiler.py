@@ -30,6 +30,7 @@ class MethodProfile:
         "interp_cycles",
         "compiled_cycles",
         "translate_cycles",
+        "install_cycles",
         "was_compiled",
         "is_native",
         "backedges",
@@ -45,6 +46,8 @@ class MethodProfile:
         self.interp_cycles = 0
         self.compiled_cycles = 0
         self.translate_cycles = 0
+        # install-path subset of translate_cycles (code-archive hits)
+        self.install_cycles = 0
         self.was_compiled = False
         self.is_native = is_native
         self.backedges = 0
@@ -72,6 +75,8 @@ class MethodProfile:
             "translate_cycles": self.translate_cycles,
             "was_compiled": self.was_compiled,
         }
+        if self.install_cycles:
+            snap["install_cycles"] = self.install_cycles
         if self.backedges:
             snap["backedges"] = self.backedges
         if self.promotions or self.deopts:
@@ -125,9 +130,15 @@ class Profiler:
         else:
             p.compiled_cycles += cycles
 
-    def note_translate(self, method, cycles: int) -> None:
+    def note_translate(self, method, cycles: int,
+                       installed: bool = False) -> None:
+        """Charge translate-portion cycles; ``installed`` marks the
+        cheap archive-install path (still translate cycles for the
+        Figure 1 split, but tracked as the install subset too)."""
         p = self.profile_for(method)
         p.translate_cycles += cycles
+        if installed:
+            p.install_cycles += cycles
         p.was_compiled = True
 
     def snapshot(self) -> dict[str, dict]:

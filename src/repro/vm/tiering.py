@@ -51,10 +51,21 @@ from .threads import EMIT_COMPILED, EMIT_INTERP, EMIT_OSR
 TRANSLATE_CYCLES_PER_BYTECODE = 110
 TRANSLATE_CYCLES_FIXED = 150
 
+#: Install-cost model for methods already in the shared code archive
+#: (one load/store pair per generated native instruction plus a fixed
+#: relocation pass; see ``TranslateStubs.emit_install``).
+INSTALL_CYCLES_PER_BYTECODE = 30
+INSTALL_CYCLES_FIXED = 25
+
 
 def estimated_translate_cycles(method) -> int:
     """Predicted cost of translating ``method`` (known before compiling)."""
     return TRANSLATE_CYCLES_FIXED + TRANSLATE_CYCLES_PER_BYTECODE * len(method.code)
+
+
+def estimated_install_cycles(method) -> int:
+    """Predicted cost of installing ``method`` from the code archive."""
+    return INSTALL_CYCLES_FIXED + INSTALL_CYCLES_PER_BYTECODE * len(method.code)
 
 
 class TierState:
@@ -92,6 +103,10 @@ class TieredController:
         self.deopt_reasons: dict[str, int] = {}
         self.speculative_marks = 0
         self.speculation_failures = 0
+        self.archive_installs = 0
+        #: method_id -> tier-1 archive probe result (memoized: the probe
+        #: does a disk stat plus the key's resolution walk)
+        self._archive_probe: dict[int, bool] = {}
         #: (class_name, method_name) -> [(dependent_method, assumed_target)]
         self.assumptions: dict[tuple, list] = {}
         #: method_id -> [(alloc site, proven thread-local)] for sites that
@@ -120,7 +135,24 @@ class TieredController:
         pass, methods with expensive loops pass mid-first-invocation."""
         spent = profile.interp_cycles - st.interp_base
         return spent >= (self.strategy.compile_ratio
-                         * estimated_translate_cycles(method))
+                         * self._promotion_price(method))
+
+    def _promotion_price(self, method) -> int:
+        """Translate-cost estimate the t0 -> t1 decision prices against,
+        discounted to the install-cost model when the shared code
+        archive already holds this method's tier-1 code: warm workers
+        repay compilation sooner, so they climb the ladder earlier (the
+        fast-start half of the tradeoff the archive exists to move)."""
+        jit = self.vm.jit
+        if jit.archive is None:
+            return estimated_translate_cycles(method)
+        archived = self._archive_probe.get(method.method_id)
+        if archived is None:
+            archived = jit.archive.probe(jit, method, tier=1,
+                                         optimize=False)
+            self._archive_probe[method.method_id] = archived
+        return (estimated_install_cycles(method) if archived
+                else estimated_translate_cycles(method))
 
     def _tier2_profitable(self, method, st) -> bool:
         """The tier-1 -> tier-2 benefit screen: recompiling costs a full
@@ -232,10 +264,15 @@ class TieredController:
         if profile.was_compiled:
             self.recompiles += 1
         vm._compiled[method.method_id] = compiled
-        vm._translate_overhead += compiled.translate_cycles
-        vm.profiler.note_translate(method, compiled.translate_cycles)
+        vm._account_translation(method, compiled)
         st.tier = tier
-        st.transitions.append(("promote", tier))
+        if compiled.from_archive:
+            self.archive_installs += 1
+            st.transitions.append(("promote", tier, "archive"))
+            if TRACER.enabled:
+                TRACER.add("vm.tier.archive_install")
+        else:
+            st.transitions.append(("promote", tier))
         profile.tier = tier
         profile.promotions += 1
         if tier == 1:
@@ -421,6 +458,7 @@ class TieredController:
             "recompiles": self.recompiles,
             "speculative_marks": self.speculative_marks,
             "speculation_failures": self.speculation_failures,
+            "archive_installs": self.archive_installs,
         }
 
     def snapshot(self) -> dict:

@@ -252,6 +252,58 @@ class TestStaleLockRecovery:
         assert delta["locks_broken"] == 1
         assert faults.LEDGER.count("recovered", "lock_break_forced") == 1
 
+    def test_exactly_one_contender_wins_the_break(self, tmp_path):
+        """Many waiters conclude "stale" about the same dead-owner lock
+        at once; the rename commit point lets exactly one win."""
+        import time as _time
+        path = str(tmp_path / "entry.pkl")
+        with open(path + ".lock", "w") as fh:
+            fh.write(str(_dead_pid()))
+        n = 8
+        barrier = threading.Barrier(n)
+        wins = []
+
+        def contend():
+            lock = cache.FileLock(path, timeout=10.0)
+            deadline = _time.perf_counter() + 10.0
+            barrier.wait()
+            wins.append(lock._break_if_stale(deadline))
+
+        threads = [threading.Thread(target=contend) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert sum(wins) == 1, wins
+        assert not os.path.exists(path + ".lock")
+        # no grave droppings left behind either
+        assert os.listdir(tmp_path) == []
+
+    def test_fresh_live_lock_survives_slow_breaker(self, tmp_path,
+                                                   monkeypatch):
+        """The race the rename closes: a slow waiter probed the dead
+        owner, got descheduled, and meanwhile a faster waiter broke the
+        lock and re-acquired it.  The slow waiter's break must NOT
+        remove the fresh live lock — it captures it, notices the owner
+        changed and is alive, and puts it back intact."""
+        import time as _time
+        path = str(tmp_path / "entry.pkl")
+        lock_path = path + ".lock"
+        # On disk now: the fast waiter's fresh lock (a live pid).
+        with open(lock_path, "w") as fh:
+            fh.write(str(os.getpid()))
+        slow = cache.FileLock(path, timeout=10.0)
+        # The slow waiter still acts on its pre-break probe result.
+        monkeypatch.setattr(slow, "_owner_pid", lambda: _dead_pid())
+        before = cache.STATS.snapshot()
+        assert slow._break_if_stale(_time.perf_counter() + 10.0) is False
+        delta = cache.CacheStats.diff(cache.STATS.snapshot(), before)
+        assert delta["locks_broken"] == 0
+        # the live lock is back, same owner, and nothing else remains
+        with open(lock_path) as fh:
+            assert int(fh.read()) == os.getpid()
+        assert os.listdir(tmp_path) == [os.path.basename(lock_path)]
+
     def test_unreadable_lock_broken_after_grace(self, tmp_path,
                                                 monkeypatch):
         monkeypatch.setattr(cache, "LOCK_UNREADABLE_GRACE", 0.05)
