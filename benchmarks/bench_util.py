@@ -1,14 +1,45 @@
-"""Shared runner for experiment benchmarks."""
+"""Shared runner for experiment benchmarks.
 
+Each guard times one full experiment regeneration ``rounds`` times
+(``REPRO_BENCH_ROUNDS``, default 3) through pytest-benchmark and runs
+the per-round wall times through the statistical harness
+(:mod:`repro.bench.stats`): the reported quantity is the median with a
+seeded bootstrap confidence interval and a warmup/steady-state verdict,
+all attached to ``benchmark.extra_info`` so the pytest-benchmark JSON
+carries them.  Shape assertions still run against the (deterministic)
+experiment result itself.
+"""
+
+import os
+
+from repro.bench.stats import bootstrap_ci, steady_report
 from repro.experiments import get_experiment
+
+#: Per-guard timing rounds; raise via REPRO_BENCH_ROUNDS for tighter CIs.
+DEFAULT_ROUNDS = 3
+
+
+def bench_rounds() -> int:
+    return max(1, int(os.environ.get("REPRO_BENCH_ROUNDS", DEFAULT_ROUNDS)))
 
 
 def run_experiment(benchmark, exp_id, scale="s0", benchmarks=None):
     """Time one full experiment regeneration; sanity-check the result."""
     result = benchmark.pedantic(
         lambda: get_experiment(exp_id)(scale=scale, benchmarks=benchmarks),
-        rounds=1,
+        rounds=bench_rounds(),
         iterations=1,
     )
     assert result.rows, f"{exp_id} produced no rows"
+    samples = list(benchmark.stats.stats.data)  # temporal order
+    if len(samples) >= 2:
+        ci = bootstrap_ci(samples)
+        benchmark.extra_info["median_ci"] = ci
+        benchmark.extra_info["steady"] = {
+            k: v for k, v in steady_report(samples).items()
+            if k in ("steady", "warmup_discarded", "cv", "cv_threshold")}
+        # The interval must contain its own point estimate — a sanity
+        # bound that catches degenerate sample streams (e.g. a stuck
+        # timer) without asserting machine-dependent absolute times.
+        assert ci["lo"] <= ci["point"] <= ci["hi"], ci
     return result

@@ -22,10 +22,13 @@ import json
 import os
 import time
 
+import numpy as np
+
 from ..analysis.replay import clear_replay_memo
 from ..arch.kernels import ENV_VAR, KERNELS
 from ..experiments.base import collect_jobs, get_experiment
 from ..obs import TRACER, measure_disabled_overhead
+from .stats import DEFAULT_CV, DEFAULT_WINDOW, bootstrap_ci, detect_steady
 
 #: The replay-dominated experiments the acceptance targets name.
 DEFAULT_TARGETS = ("fig3", "fig7", "table3")
@@ -110,9 +113,28 @@ def bench_analysis(scale: str = "s0", benchmarks=None) -> dict:
     return report
 
 
+def _steady_median(runs, window: int, cv_threshold: float):
+    """(median seconds, steady-verdict dict) for one sample stream.
+
+    The median is taken over the steady suffix when one exists —
+    discarding the warmup iterations instead of hoping ``min()``
+    dodged them — and over all samples otherwise (with the verdict
+    recording that the stream never stabilized).
+    """
+    verdict = detect_steady(runs, window=window, cv_threshold=cv_threshold)
+    samples = verdict.steady_samples if verdict.steady else runs
+    median = float(np.median(np.asarray(samples, dtype=np.float64)))
+    out = verdict.to_dict()
+    if len(samples) >= 2:
+        out["median_ci"] = bootstrap_ci(samples)
+    return median, out
+
+
 def run_bench(targets=DEFAULT_TARGETS, scale: str = "s0",
               benchmarks=None, repeats: int = 3,
               analysis: bool = True,
+              steady_window: int = DEFAULT_WINDOW,
+              steady_cv: float = DEFAULT_CV,
               progress=None) -> dict:
     """Benchmark ``targets`` under every kernel.
 
@@ -121,6 +143,14 @@ def run_bench(targets=DEFAULT_TARGETS, scale: str = "s0",
     scalar-vs-vector result comparison — the report keeps it per
     target rather than raising, so one divergence doesn't hide the
     other measurements.
+
+    Each kernel's timing is a *sample stream*, not a single number:
+    the per-repeat samples run through warmup detection
+    (:func:`repro.bench.stats.detect_steady`) and the reported
+    ``speedup`` is the ratio of steady medians with bootstrap CIs
+    alongside — fewer than ``steady_window`` repeats can never be
+    declared steady, so ``--strict-steady`` also enforces a minimum
+    sample count.
     """
     say = progress or (lambda msg: None)
     say(f"pre-warming trace cache for {', '.join(targets)} "
@@ -133,6 +163,8 @@ def run_bench(targets=DEFAULT_TARGETS, scale: str = "s0",
             "benchmarks": list(benchmarks) if benchmarks else None,
             "repeats": repeats,
             "kernels": list(KERNELS),
+            "steady": {"window": steady_window, "cv_threshold": steady_cv},
+            "speedup_basis": "steady-median",
         },
         "targets": {},
     }
@@ -140,17 +172,23 @@ def run_bench(targets=DEFAULT_TARGETS, scale: str = "s0",
         fn = get_experiment(exp_id)
         entry: dict = {}
         results = {}
+        medians = {}
         for kernel in KERNELS:
             with TRACER.span("bench.target", id=exp_id, kernel=kernel):
                 best, runs, result = _time_target(fn, kernel, repeats,
                                                   scale, benchmarks)
+            median, steady = _steady_median(runs, steady_window, steady_cv)
             entry[f"{kernel}_seconds"] = round(best, 4)
+            entry[f"{kernel}_median"] = round(median, 4)
             entry[f"{kernel}_runs"] = [round(s, 4) for s in runs]
+            entry[f"{kernel}_steady"] = steady
+            medians[kernel] = median
             results[kernel] = result
-            say(f"{exp_id:8s} {kernel:6s} best {best:7.3f}s "
-                f"of {len(runs)}")
+            say(f"{exp_id:8s} {kernel:6s} median {median:7.3f}s "
+                f"(best {best:.3f}s of {len(runs)}, "
+                f"steady={steady['steady']})")
         entry["speedup"] = round(
-            entry["scalar_seconds"] / max(entry["vector_seconds"], 1e-9), 2
+            medians["scalar"] / max(medians["vector"], 1e-9), 2
         )
         entry["identical"] = results["scalar"] == results["vector"]
         say(f"{exp_id:8s} speedup {entry['speedup']:.2f}x "
@@ -199,6 +237,18 @@ def check_regression(report: dict, baseline: dict,
                 f"tolerance {tolerance:.0%})"
             )
     return failures
+
+
+def nonsteady_targets(report: dict) -> list[str]:
+    """``"<target>/<kernel>"`` entries whose sample stream never
+    reached detected steady state (what ``--strict-steady`` gates on)."""
+    out = []
+    for exp_id, entry in report.get("targets", {}).items():
+        for kernel in report["meta"]["kernels"]:
+            steady = entry.get(f"{kernel}_steady")
+            if steady is not None and not steady["steady"]:
+                out.append(f"{exp_id}/{kernel}")
+    return out
 
 
 def save_report(report: dict, path: str) -> None:

@@ -14,8 +14,9 @@ import os
 import sys
 
 from .. import obs
-from . import (DEFAULT_TARGETS, check_regression, load_report, run_bench,
-               save_report)
+from . import (DEFAULT_TARGETS, check_regression, load_report,
+               nonsteady_targets, run_bench, save_report)
+from .stats import DEFAULT_CV, DEFAULT_WINDOW
 
 
 def main(argv=None) -> int:
@@ -42,6 +43,15 @@ def main(argv=None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.2,
                         help="allowed relative speedup drop vs. the "
                              "baseline (default 0.2)")
+    parser.add_argument("--steady-window", type=int, default=DEFAULT_WINDOW,
+                        help="minimum steady suffix length for warmup "
+                             f"detection (default {DEFAULT_WINDOW})")
+    parser.add_argument("--steady-cv", type=float, default=DEFAULT_CV,
+                        help="coefficient-of-variation threshold declaring "
+                             f"a sample suffix steady (default {DEFAULT_CV})")
+    parser.add_argument("--strict-steady", action="store_true",
+                        help="exit nonzero when any timed sample stream "
+                             "never reaches detected steady state")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="trace cache directory (default: "
                              "$REPRO_TRACE_CACHE or .trace_cache)")
@@ -63,6 +73,8 @@ def main(argv=None) -> int:
     report = run_bench(targets=targets, scale=args.scale,
                        benchmarks=benchmarks, repeats=args.repeats,
                        analysis=not args.no_analysis,
+                       steady_window=args.steady_window,
+                       steady_cv=args.steady_cv,
                        progress=lambda msg: print(msg, flush=True))
 
     status = 0
@@ -73,6 +85,14 @@ def main(argv=None) -> int:
               f"{', '.join(broken)}", file=sys.stderr)
         status = 1
 
+    nonsteady = nonsteady_targets(report)
+    if nonsteady:
+        level = "FAIL" if args.strict_steady else "warning"
+        print(f"{level}: non-steady sample streams: "
+              f"{', '.join(nonsteady)}", file=sys.stderr)
+        if args.strict_steady:
+            status = 1
+
     if args.out:
         save_report(report, args.out)
         print(f"wrote {args.out}")
@@ -80,7 +100,9 @@ def main(argv=None) -> int:
             "repro.bench",
             argv=argv if argv is not None else sys.argv[1:],
             extra={"targets": targets, "scale": args.scale,
-                   "benchmarks": benchmarks, "repeats": args.repeats},
+                   "benchmarks": benchmarks, "repeats": args.repeats,
+                   "steady": report["meta"]["steady"],
+                   "strict_steady": args.strict_steady},
         )
         manifest_path = obs.manifest_path_for(args.out)
         obs.write_manifest(manifest_path, manifest)

@@ -1,0 +1,190 @@
+"""Statistically honest measurement primitives.
+
+The original ``BENCH_*`` guards compared *single* samples — exactly the
+methodology "Misleading Microbenchmarks on the Java Virtual Machines"
+(PAPERS.md) shows can invert conclusions: a measurement taken during
+warmup (JIT translation, cache population, allocator ramp-up) is an
+estimate of a transient, not of the quantity under study.  This module
+provides the three pieces an honest harness needs:
+
+- :func:`detect_steady` — warmup/steady-state detection over a stream of
+  per-iteration samples via a sliding-window coefficient-of-variation
+  test: the warmup prefix is the shortest prefix whose removal leaves a
+  suffix with CV below threshold (and long enough to trust).  A stream
+  that never stabilizes — drift, bimodality past the prefix — is
+  reported *non-steady* rather than silently averaged.
+- :func:`bootstrap_ci` — seeded, deterministic bootstrap confidence
+  intervals for any statistic of the steady samples (median by
+  default), so guards can compare intervals instead of point estimates.
+- :func:`summarize` / :func:`steady_report` — the JSON-ready record the
+  ``BENCH_*`` emitters embed and CI asserts against.
+
+Everything is pure and deterministic: the bootstrap is driven by an
+explicit seed, so two runs over the same samples produce byte-identical
+reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Default sliding-window length for the CV test.
+DEFAULT_WINDOW = 4
+
+#: Default CV threshold declaring a suffix steady.  Wall-clock samples
+#: on shared CI machines sit well under this when warm; a stream still
+#: paying one-time costs (or drifting) does not.
+DEFAULT_CV = 0.25
+
+#: Bootstrap resamples (deterministic given the seed).
+DEFAULT_RESAMPLES = 2000
+
+
+def coefficient_of_variation(samples) -> float:
+    """stdev/mean of ``samples`` (population stdev; 0.0 for n<2)."""
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.size < 2:
+        return 0.0
+    mean = float(arr.mean())
+    if mean == 0.0:
+        return math.inf if float(arr.std()) else 0.0
+    return float(arr.std() / abs(mean))
+
+
+def summarize(samples) -> dict:
+    """Point statistics of a sample stream (JSON-ready)."""
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.size == 0:
+        return {"n": 0}
+    return {
+        "n": int(arr.size),
+        "mean": float(arr.mean()),
+        "median": float(np.median(arr)),
+        "stdev": float(arr.std()),
+        "cv": coefficient_of_variation(arr),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+    }
+
+
+@dataclass
+class SteadyVerdict:
+    """Outcome of warmup/steady-state detection."""
+
+    steady: bool
+    #: samples discarded as warmup (0 when the whole stream is steady;
+    #: equals ``n`` when no steady suffix exists).
+    warmup: int
+    #: CV of the accepted suffix (of the best suffix tried, when not
+    #: steady).
+    cv: float
+    window: int
+    threshold: float
+    samples: list = field(default_factory=list)
+
+    @property
+    def steady_samples(self) -> list:
+        return self.samples[self.warmup:] if self.steady else []
+
+    def to_dict(self) -> dict:
+        out = {
+            "steady": self.steady,
+            "warmup_discarded": self.warmup,
+            "cv": round(self.cv, 6),
+            "window": self.window,
+            "cv_threshold": self.threshold,
+        }
+        if self.steady:
+            out["steady_stats"] = summarize(self.steady_samples)
+        return out
+
+
+def detect_steady(samples, window: int = DEFAULT_WINDOW,
+                  cv_threshold: float = DEFAULT_CV) -> SteadyVerdict:
+    """Find the warmup prefix of ``samples`` via a sliding CV test.
+
+    The stream is *steady from i* when the entire suffix
+    ``samples[i:]`` has CV below ``cv_threshold`` — judging the full
+    suffix (not just one window) rejects slow drift and late bimodality
+    that a local window would miss.  The verdict is steady when some
+    ``i`` with at least ``window`` remaining samples qualifies; the
+    smallest such ``i`` is the warmup length.  Fewer than ``window``
+    samples can never be declared steady: refusing to judge is the
+    honest answer for a stream too short to characterize.
+    """
+    arr = [float(s) for s in samples]
+    n = len(arr)
+    best_cv = math.inf
+    for i in range(0, n - window + 1):
+        cv = coefficient_of_variation(arr[i:])
+        best_cv = min(best_cv, cv)
+        if cv <= cv_threshold:
+            return SteadyVerdict(True, i, cv, window, cv_threshold, arr)
+    return SteadyVerdict(False, n, best_cv if n else math.inf,
+                         window, cv_threshold, arr)
+
+
+def bootstrap_ci(samples, stat=np.median, confidence: float = 0.95,
+                 resamples: int = DEFAULT_RESAMPLES, seed: int = 0) -> dict:
+    """Seeded bootstrap confidence interval for ``stat(samples)``.
+
+    Returns ``{point, lo, hi, confidence, resamples, rel_margin}`` where
+    ``rel_margin`` is the half-width of the interval relative to the
+    point estimate — the number a tolerance check should look at.
+    Deterministic given ``seed``.
+    """
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("bootstrap_ci needs at least one sample")
+    point = float(stat(arr))
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, arr.size, size=(resamples, arr.size))
+    dist = np.sort(np.asarray(stat(arr[idx], axis=1), dtype=np.float64))
+    alpha = (1.0 - confidence) / 2.0
+    lo = float(np.quantile(dist, alpha))
+    hi = float(np.quantile(dist, 1.0 - alpha))
+    rel = ((hi - lo) / (2.0 * abs(point))) if point else math.inf
+    return {
+        "point": point,
+        "lo": lo,
+        "hi": hi,
+        "confidence": confidence,
+        "resamples": resamples,
+        "rel_margin": round(rel, 6),
+    }
+
+
+def steady_report(samples, window: int = DEFAULT_WINDOW,
+                  cv_threshold: float = DEFAULT_CV,
+                  confidence: float = 0.95, seed: int = 0) -> dict:
+    """Detection verdict + bootstrap CI of the steady median, JSON-ready.
+
+    The one-call form the bench emitters use: runs
+    :func:`detect_steady`, and when a steady suffix exists attaches the
+    bootstrap interval of its median (the interval is omitted — not
+    faked — for non-steady streams).
+    """
+    verdict = detect_steady(samples, window=window,
+                            cv_threshold=cv_threshold)
+    out = verdict.to_dict()
+    out["samples"] = [round(float(s), 6) for s in samples]
+    if verdict.steady:
+        out["median_ci"] = bootstrap_ci(verdict.steady_samples,
+                                        confidence=confidence, seed=seed)
+    return out
+
+
+def percentiles(values, points=(50, 90, 95, 99, 99.9)) -> dict:
+    """Named percentiles of ``values`` (ints in, ints out for cycles)."""
+    arr = np.asarray(values)
+    if arr.size == 0:
+        return {f"p{str(p).replace('.', '_')}": None for p in points}
+    out = {}
+    for p in points:
+        key = f"p{str(p).replace('.', '_')}"
+        out[key] = int(round(float(np.percentile(arr, p))))
+    out["max"] = int(arr.max())
+    return out

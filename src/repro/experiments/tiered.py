@@ -392,6 +392,28 @@ def run_ablation(scale: str = "s1", benchmarks=None) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # BENCH_tiered.json
 # ----------------------------------------------------------------------
+def sample_wall_times(workload: str = "db", scale: str = "s0",
+                      repeats: int = 6) -> dict:
+    """Wall-clock sample stream of fresh tiered VM runs, steady-judged.
+
+    Every sample is a full cache-bypassed run (``cache_dir=""``), so the
+    stream measures what a user-facing invocation pays; the verdict
+    comes from :func:`repro.bench.stats.steady_report` and feeds the
+    ``--strict-steady`` gate.
+    """
+    import time as _time
+
+    from ..bench.stats import steady_report
+
+    samples = []
+    for _ in range(repeats):
+        started = _time.perf_counter()
+        run_vm(workload, scale=scale, mode="tiered", cache_dir="")
+        samples.append(_time.perf_counter() - started)
+    return {"workload": workload, "scale": scale, "repeats": repeats,
+            **steady_report(samples)}
+
+
 def write_bench(path: str, scale: str = "s1", benchmarks=None) -> dict:
     """Emit the machine-checkable summary CI guards against."""
     import json
@@ -406,6 +428,7 @@ def write_bench(path: str, scale: str = "s1", benchmarks=None) -> dict:
     data["sweep"] = sweep
     data["deopt_scenarios"] = run_scenarios()
     data["static_concurrency"] = static_concurrency_comparison()
+    data["wall_sampling"] = sample_wall_times()
     with open(path, "w") as fh:
         json.dump(data, fh, indent=2, sort_keys=True)
     return data
@@ -413,6 +436,7 @@ def write_bench(path: str, scale: str = "s1", benchmarks=None) -> dict:
 
 def main(argv=None) -> int:
     import argparse
+    import sys
 
     parser = argparse.ArgumentParser(
         description="tiered-execution benchmark summary")
@@ -420,6 +444,9 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", default="s1")
     parser.add_argument("--benchmarks", default=None,
                         help="comma-separated workload subset")
+    parser.add_argument("--strict-steady", action="store_true",
+                        help="exit nonzero when the wall-clock sample "
+                             "stream never reaches detected steady state")
     args = parser.parse_args(argv)
     benchmarks = args.benchmarks.split(",") if args.benchmarks else None
     data = write_bench(args.out, scale=args.scale, benchmarks=benchmarks)
@@ -432,7 +459,10 @@ def main(argv=None) -> int:
         argv=argv if argv is not None else None,
         extra={"scale": args.scale, "benchmarks": data["benchmarks"],
                "strategy": data["strategy"], "tiering": data["tiering"],
-               "recovered_fraction": data["recovered_fraction"]},
+               "recovered_fraction": data["recovered_fraction"],
+               "wall_sampling": {
+                   "steady": data["wall_sampling"]["steady"],
+                   "cv": data["wall_sampling"]["cv"]}},
     )
     obs.write_manifest(obs.manifest_path_for(args.out), manifest)
     tot = data["totals"]
@@ -449,7 +479,15 @@ def main(argv=None) -> int:
           f"{sc['static_off']['lock_escape_deopts']} -> "
           f"{sc['static_on']['lock_escape_deopts']} "
           f"({sc['deopts_avoided']} avoided)")
+    ws = data["wall_sampling"]
+    print(f"wall sampling ({ws['workload']}/{ws['scale']}, "
+          f"{ws['repeats']} fresh runs): steady={ws['steady']} "
+          f"cv={ws['cv']}")
     print(f"wrote {args.out} (+ {obs.manifest_path_for(args.out)})")
+    if args.strict_steady and not ws["steady"]:
+        print("STRICT-STEADY FAILURE: tiered wall-clock samples never "
+              "stabilized", file=sys.stderr)
+        return 1
     return 0
 
 

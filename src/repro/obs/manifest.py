@@ -48,6 +48,8 @@ def config_snapshot() -> dict:
         "REPRO_TRACE_CACHE": _cache.default_cache_dir(),
         "REPRO_OBS": os.environ.get("REPRO_OBS") or None,
         "REPRO_FAULTS": os.environ.get(_faults.ENV_VAR) or None,
+        "REPRO_CODE_ARCHIVE": os.environ.get("REPRO_CODE_ARCHIVE") or None,
+        "REPRO_BENCH_ROUNDS": os.environ.get("REPRO_BENCH_ROUNDS") or None,
     }
 
 

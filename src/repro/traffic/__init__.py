@@ -1,0 +1,23 @@
+"""Server-scale traffic scenarios for the simulated JVM.
+
+A scenario is declared (:class:`~repro.traffic.spec.ScenarioSpec`),
+compiled into an ISA server program (:mod:`~repro.traffic.codegen`),
+and driven by the engine (:func:`~repro.traffic.engine.run_scenario`),
+which measures throughput, exact tail-latency percentiles in cycles,
+lock-case mix, tier transitions and code-archive churn under load.
+"""
+
+from .engine import RequestTracker, TrafficResult, run_scenario
+from .handlers import HANDLERS, register_handler
+from .spec import PRESETS, ScenarioSpec, get_preset
+
+__all__ = [
+    "HANDLERS",
+    "PRESETS",
+    "RequestTracker",
+    "ScenarioSpec",
+    "TrafficResult",
+    "get_preset",
+    "register_handler",
+    "run_scenario",
+]

@@ -1,0 +1,168 @@
+"""Compile a :class:`~repro.traffic.spec.ScenarioSpec` into an ISA program.
+
+The generated program is a miniature server: ``spec.threads`` worker
+threads (real ``java/lang/Thread`` subclasses on the VM's green-thread
+scheduler) pull requests from the VM-side dispatcher
+(:class:`~repro.traffic.engine.RequestTracker`) through two native
+hooks, dispatch each to its scheduled handler method over the shared
+working set, and fold every handler's return value into a per-worker
+accumulator that is posted to the shared ``Stats`` object at exit —
+so the printed total is a checksum of *all* request work, comparable
+across execution configs exactly like the batch workloads' outputs.
+
+Request flow, per request, in bytecode::
+
+    p = Runtime.poll()            # native: dispatch (or block/finish)
+    if p < 0: break               # stream drained
+    h, payload = p & 15, p >> 4   # kind index + working-set key
+    acc += Server.h_<kind>(payload)
+    Runtime.done()                # native: completion timestamp
+
+``poll``/``done`` are the per-request span boundaries: the tracker
+records dispatch and completion in *simulated cycles*, which is what
+makes tail-latency percentiles exact rather than sampled.
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from ..isa.method import Program
+from ..isa.opcodes import ArrayType
+from .handlers import HANDLERS, MASK, method_name
+from .spec import ScenarioSpec
+
+#: poll() packs the handler index into the low 4 bits of its return.
+KIND_BITS = 4
+MAX_KINDS = 1 << KIND_BITS
+
+
+def _poll(vm, thread, args):
+    source = getattr(vm, "request_source", None)
+    if source is None:
+        return -1                      # no dispatcher: drain immediately
+    return source.poll(vm, thread)
+
+
+def _done(vm, thread, args):
+    source = getattr(vm, "request_source", None)
+    if source is not None:
+        source.complete(vm, thread)
+
+
+def build_program(spec: ScenarioSpec) -> Program:
+    """The server program for ``spec`` (fresh; runtime state per VM)."""
+    kinds = spec.handler_kinds()
+    if len(kinds) > MAX_KINDS:
+        raise ValueError(
+            f"at most {MAX_KINDS} handler kinds per scenario "
+            f"(got {len(kinds)})")
+    pb = ProgramBuilder(f"traffic-{spec.name}", main_class="traffic/Main")
+
+    # -- native request hooks ------------------------------------------
+    rt = pb.cls("traffic/Runtime")
+    rt.native_method("poll", 0, True, _poll, static=True, cost=10)
+    rt.native_method("done", 0, False, _done, static=True, cost=6)
+
+    # -- shared state ---------------------------------------------------
+    stats = pb.cls("traffic/Stats")
+    stats.field("total", "int")
+    init = stats.method("<init>")
+    init.aload(0).iconst(0).putfield("traffic/Stats", "total")
+    init.return_()
+    add = stats.method("add", argc=1, synchronized=True)
+    add.aload(0)
+    add.aload(0).getfield("traffic/Stats", "total")
+    add.iload(1).iadd().iconst(MASK).iand()
+    add.putfield("traffic/Stats", "total")
+    add.return_()
+    get = stats.method("get", returns=True, synchronized=True)
+    get.aload(0).getfield("traffic/Stats", "total").ireturn()
+
+    session = pb.cls("traffic/Session")
+    session.field("v", "int")
+    init = session.method("<init>", argc=1)
+    init.aload(0).iload(1).putfield("traffic/Session", "v")
+    init.return_()
+    touch = session.method("touch", argc=1, returns=True, synchronized=True)
+    touch.aload(0)
+    touch.aload(0).getfield("traffic/Session", "v")
+    touch.iload(1).iadd().iconst(MASK).iand()
+    touch.putfield("traffic/Session", "v")
+    touch.aload(0).getfield("traffic/Session", "v").ireturn()
+
+    # -- the server: working set + handler methods ---------------------
+    server = pb.cls("traffic/Server")
+    server.static_field("data", "ref")
+    server.static_field("stats", "ref")
+
+    setup = server.method("setup", static=True)
+    loop, done = setup.new_label("fill"), setup.new_label("filled")
+    setup.iconst(spec.working_set).newarray(ArrayType.INT)
+    setup.putstatic("traffic/Server", "data")
+    setup.new("traffic/Stats").dup()
+    setup.invokespecial("traffic/Stats", "<init>", 0)
+    setup.putstatic("traffic/Server", "stats")
+    setup.getstatic("traffic/Server", "data").astore(1)
+    setup.iconst(0).istore(0)
+    setup.bind(loop)
+    setup.iload(0).iconst(spec.working_set).if_icmpge(done)
+    setup.aload(1).iload(0)
+    setup.iload(0).iconst(31).imul().iconst(17).iadd().iconst(MASK).iand()
+    setup.iastore()
+    setup.iinc(0, 1)
+    setup.goto(loop)
+    setup.bind(done)
+    setup.return_()
+
+    for kind in kinds:
+        HANDLERS[kind].emit(server, spec)
+
+    # -- the worker loop ------------------------------------------------
+    worker = pb.cls("traffic/Worker", super_name="java/lang/Thread")
+    worker.method("<init>").return_()
+    run = worker.method("run")
+    # locals: 0=this 1=packed 2=kind 3=payload 4=acc
+    top = run.new_label("top")
+    merge = run.new_label("merge")
+    drained = run.new_label("drained")
+    cases = [run.new_label(f"k_{k}") for k in kinds]
+    run.iconst(0).istore(4)
+    run.bind(top)
+    run.invokestatic("traffic/Runtime", "poll", 0, True).istore(1)
+    run.iload(1).iflt(drained)
+    run.iload(1).iconst(MAX_KINDS - 1).iand().istore(2)
+    run.iload(1).iconst(KIND_BITS).ishr().istore(3)
+    run.iload(2).tableswitch(0, cases, merge)
+    for kind, label in zip(kinds, cases):
+        run.bind(label)
+        run.iload(3)
+        run.invokestatic("traffic/Server", method_name(kind), 1, True)
+        run.iload(4).iadd().istore(4)
+        run.goto(merge)
+    run.bind(merge)
+    run.invokestatic("traffic/Runtime", "done", 0, False)
+    run.goto(top)
+    run.bind(drained)
+    run.getstatic("traffic/Server", "stats").iload(4)
+    run.invokevirtual("traffic/Stats", "add", 1, False)
+    run.return_()
+
+    # -- main: setup, spawn, join, report ------------------------------
+    main_cls = pb.cls("traffic/Main")
+    m = main_cls.method("main", static=True)
+    m.invokestatic("traffic/Server", "setup", 0, False)
+    for t in range(spec.threads):
+        m.new("traffic/Worker").dup()
+        m.invokespecial("traffic/Worker", "<init>", 0)
+        m.astore(t)
+    for t in range(spec.threads):
+        m.aload(t).invokevirtual("java/lang/Thread", "start", 0, False)
+    for t in range(spec.threads):
+        m.aload(t).invokevirtual("java/lang/Thread", "join", 0, False)
+    m.getstatic("java/lang/System", "out")
+    m.getstatic("traffic/Server", "stats")
+    m.invokevirtual("traffic/Stats", "get", 0, True)
+    m.invokevirtual("java/io/PrintStream", "printlnInt", 1, False)
+    m.return_()
+
+    return pb.build()

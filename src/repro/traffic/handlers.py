@@ -1,0 +1,163 @@
+"""Registered request-handler kinds the scenario mix draws from.
+
+Each handler is an emitter that contributes one static bytecode method
+``h_<kind>(payload) -> int`` to the generated ``traffic/Server`` class
+(:mod:`repro.traffic.codegen`).  The worker loop dispatches each request
+to its scheduled handler with the request's payload (a working-set
+index) and folds the return value into a per-worker accumulator, so
+every handler's effect is observable in the program's printed checksum.
+
+The kinds cover the architectural axes the paper cares about:
+
+- ``get``/``put``/``scan`` — shared working-set reads and writes (data
+  cache churn scaling with ``working_set``),
+- ``sync`` — a synchronized method on one shared object (the contended
+  case (d) monitor traffic of Section 5),
+- ``alloc`` — a short-lived object with a synchronized method (thin /
+  elidable case (a) locking plus allocator churn),
+- ``compute`` — pure register arithmetic (the ILP-friendly pole),
+- ``rare`` — a family of :data:`RARE_VARIANTS` cold endpoints with fat
+  straight-line bodies, each hit a handful of times per run: the
+  translate-cost tail that first-use JIT pays in full and a tiered
+  ladder mostly avoids (Section 3's cost-amortization argument, under
+  traffic instead of batch).
+
+Registering a new kind is one decorated function; the spec validator
+and the codegen dispatch pick it up automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+#: Cold-endpoint family size and per-variant body length (LCG steps).
+RARE_VARIANTS = 32
+RARE_STEPS = 30
+
+#: Stats totals are folded into 20 bits so checksums stay readable.
+MASK = 0xFFFFF
+
+
+@dataclass(frozen=True)
+class Handler:
+    name: str
+    description: str
+    emit: Callable
+
+
+HANDLERS: dict[str, Handler] = {}
+
+
+def register_handler(name: str, description: str):
+    """Decorator registering an emitter for handler kind ``name``."""
+
+    def deco(fn):
+        HANDLERS[name] = Handler(name, description, fn)
+        return fn
+
+    return deco
+
+
+def method_name(kind: str) -> str:
+    return f"h_{kind}"
+
+
+@register_handler("get", "read one shared working-set slot")
+def _emit_get(cb, spec) -> None:
+    mb = cb.method(method_name("get"), argc=1, returns=True, static=True)
+    mb.getstatic("traffic/Server", "data")
+    mb.iload(0).iaload().ireturn()
+
+
+@register_handler("put", "write one shared working-set slot")
+def _emit_put(cb, spec) -> None:
+    mb = cb.method(method_name("put"), argc=1, returns=True, static=True)
+    mb.getstatic("traffic/Server", "data").iload(0)
+    mb.iload(0).iconst(31).imul().iconst(7).iadd().iconst(MASK).iand()
+    mb.iastore()
+    mb.iload(0).ireturn()
+
+
+@register_handler("scan", "sum a 16-slot strided window of the working set")
+def _emit_scan(cb, spec) -> None:
+    mb = cb.method(method_name("scan"), argc=1, returns=True, static=True)
+    loop, done = mb.new_label("loop"), mb.new_label("done")
+    # locals: 0=payload 1=i 2=acc 3=arr 4=len
+    mb.getstatic("traffic/Server", "data").astore(3)
+    mb.aload(3).arraylength().istore(4)
+    mb.iconst(0).istore(2)
+    mb.iconst(0).istore(1)
+    mb.bind(loop)
+    mb.iload(1).iconst(16).if_icmpge(done)
+    mb.aload(3)
+    mb.iload(0).iload(1).iadd().iload(4).irem()
+    mb.iaload()
+    mb.iload(2).iadd().istore(2)
+    mb.iinc(1, 1)
+    mb.goto(loop)
+    mb.bind(done)
+    mb.iload(2).ireturn()
+
+
+@register_handler("sync", "synchronized update of the one shared Stats object")
+def _emit_sync(cb, spec) -> None:
+    mb = cb.method(method_name("sync"), argc=1, returns=True, static=True)
+    mb.getstatic("traffic/Server", "stats").iload(0)
+    mb.invokevirtual("traffic/Stats", "add", 1, False)
+    mb.iload(0).ireturn()
+
+
+@register_handler("alloc", "short-lived Session with a synchronized touch")
+def _emit_alloc(cb, spec) -> None:
+    mb = cb.method(method_name("alloc"), argc=1, returns=True, static=True)
+    mb.new("traffic/Session").dup().iload(0)
+    mb.invokespecial("traffic/Session", "<init>", 1)
+    mb.astore(1)
+    mb.aload(1).iload(0)
+    mb.invokevirtual("traffic/Session", "touch", 1, True)
+    mb.ireturn()
+
+
+@register_handler("compute", "pure-arithmetic LCG kernel (compute_iters)")
+def _emit_compute(cb, spec) -> None:
+    mb = cb.method(method_name("compute"), argc=1, returns=True, static=True)
+    loop, done = mb.new_label("loop"), mb.new_label("done")
+    # locals: 0=payload 1=i 2=acc
+    mb.iload(0).istore(2)
+    mb.iconst(0).istore(1)
+    mb.bind(loop)
+    mb.iload(1).iconst(max(1, spec.compute_iters)).if_icmpge(done)
+    mb.iload(2).iconst(1103515245).imul().iconst(12345).iadd()
+    mb.iconst(0x7FFFFFF).iand().istore(2)
+    mb.iinc(1, 1)
+    mb.goto(loop)
+    mb.bind(done)
+    mb.iload(2).ireturn()
+
+
+@register_handler("rare", f"{RARE_VARIANTS} cold endpoints with fat bodies")
+def _emit_rare(cb, spec) -> None:
+    # The dispatcher is tiny and hot; each endpoint body is a long
+    # straight-line method that only a few requests ever reach.
+    for v in range(RARE_VARIANTS):
+        mb = cb.method(f"h_rare_{v}", argc=1, returns=True, static=True)
+        mb.iload(0).istore(1)
+        mult = 1103515245 + 2 * v          # odd, variant-specific
+        for step in range(RARE_STEPS):
+            mb.iload(1).iconst(mult).imul()
+            mb.iconst(12345 + step).iadd()
+            mb.iconst(0x7FFFFFF).iand().istore(1)
+        mb.iload(1).ireturn()
+
+    mb = cb.method(method_name("rare"), argc=1, returns=True, static=True)
+    cases = [mb.new_label(f"v{v}") for v in range(RARE_VARIANTS)]
+    default = mb.new_label("default")
+    mb.iload(0).iconst(RARE_VARIANTS - 1).iand()
+    mb.tableswitch(0, cases, default)
+    for v, label in enumerate(cases):
+        mb.bind(label)
+        mb.iload(0).invokestatic("traffic/Server", f"h_rare_{v}", 1, True)
+        mb.ireturn()
+    mb.bind(default)
+    mb.iload(0).ireturn()

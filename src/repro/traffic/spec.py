@@ -1,0 +1,213 @@
+"""Declarative traffic-scenario specifications.
+
+A :class:`ScenarioSpec` describes a server-style load in domain terms —
+request mix over registered handler kinds, arrival pattern, working-set
+size, worker-thread count, total request volume — and is *compiled*
+(:mod:`repro.traffic.codegen`) into an ISA program that the VM executes
+like any other workload.  Specs are plain data: they round-trip through
+JSON, hash stably, and are recorded in manifests, so a BENCH_server.json
+names exactly the scenario that produced it.
+
+Arrival patterns
+----------------
+
+``closed``
+    Closed loop: each worker issues its next request the moment the
+    previous one completes.  Offered concurrency equals the thread
+    count; latency is pure service time.
+``open``
+    Open loop: requests arrive on a Poisson process at ``rate``
+    requests per kilocycle, independent of completion.  Latency
+    includes queueing delay — the regime where tail percentiles
+    actually mean something.
+``burst``
+    Open loop with bursty arrivals: groups of ``burst_size`` requests
+    arrive back-to-back, separated by ``burst_gap`` cycles of silence.
+``diurnal``
+    Open loop whose rate ramps sinusoidally between ``rate_low`` and
+    ``rate`` over ``diurnal_periods`` full cycles of the run — the
+    slow-ramp shape that exposes fast-start vs fast-steady-state
+    tension in the tiering ladder.
+
+The schedule is materialized once, in cycles, with a seeded generator:
+two runs of the same spec see byte-identical arrivals.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+ARRIVALS = ("closed", "open", "burst", "diurnal")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One server-traffic scenario, fully described."""
+
+    name: str
+    #: handler kind -> relative weight (kinds from traffic.handlers).
+    mix: dict[str, float]
+    requests: int = 10_000
+    threads: int = 4
+    working_set: int = 4096
+    arrival: str = "closed"
+    #: open/diurnal peak arrival rate, requests per kilocycle.
+    rate: float = 2.0
+    rate_low: float = 0.5
+    burst_size: int = 64
+    burst_gap: int = 40_000
+    diurnal_periods: int = 2
+    #: iterations of the compute handler's inner loop.
+    compute_iters: int = 6
+    seed: int = 1234
+
+    def __post_init__(self) -> None:
+        from .handlers import HANDLERS
+        if not self.mix:
+            raise ValueError("scenario mix must name at least one handler")
+        for kind in self.mix:
+            if kind not in HANDLERS:
+                raise ValueError(
+                    f"unknown handler kind {kind!r}; "
+                    f"registered: {sorted(HANDLERS)}")
+        if any(w <= 0 for w in self.mix.values()):
+            raise ValueError("mix weights must be positive")
+        if self.arrival not in ARRIVALS:
+            raise ValueError(
+                f"unknown arrival {self.arrival!r}; use one of {ARRIVALS}")
+        if self.requests <= 0 or self.threads <= 0 or self.working_set <= 0:
+            raise ValueError("requests, threads and working_set must be >= 1")
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "mix": dict(self.mix),
+            "requests": self.requests,
+            "threads": self.threads,
+            "working_set": self.working_set,
+            "arrival": self.arrival,
+            "rate": self.rate,
+            "rate_low": self.rate_low,
+            "burst_size": self.burst_size,
+            "burst_gap": self.burst_gap,
+            "diurnal_periods": self.diurnal_periods,
+            "compute_iters": self.compute_iters,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown spec fields: {sorted(unknown)}")
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    def replace(self, **kw) -> "ScenarioSpec":
+        d = self.to_dict()
+        d.update(kw)
+        return ScenarioSpec.from_dict(d)
+
+    # -- compiled pieces ------------------------------------------------
+    def handler_kinds(self) -> list[str]:
+        """Mix kinds in deterministic order (codegen + schedule agree)."""
+        return sorted(self.mix)
+
+    def handler_schedule(self) -> np.ndarray:
+        """Per-request handler index (into :meth:`handler_kinds`)."""
+        kinds = self.handler_kinds()
+        weights = np.array([self.mix[k] for k in kinds], dtype=np.float64)
+        rng = np.random.default_rng(self.seed)
+        return rng.choice(len(kinds), size=self.requests,
+                          p=weights / weights.sum()).astype(np.int64)
+
+    def payload_schedule(self) -> np.ndarray:
+        """Per-request working-set index (the request's 'key')."""
+        rng = np.random.default_rng(self.seed + 1)
+        return rng.integers(0, self.working_set, size=self.requests,
+                            dtype=np.int64)
+
+    def arrival_schedule(self) -> np.ndarray | None:
+        """Per-request arrival time in cycles; ``None`` for closed loop.
+
+        Monotone non-decreasing int64 cycles.  Deterministic in the
+        seed; independent of execution.
+        """
+        n = self.requests
+        if self.arrival == "closed":
+            return None
+        rng = np.random.default_rng(self.seed + 2)
+        if self.arrival == "open":
+            gaps = rng.exponential(1000.0 / self.rate, size=n)
+            return np.cumsum(gaps).astype(np.int64)
+        if self.arrival == "burst":
+            burst_idx = np.arange(n) // self.burst_size
+            return (burst_idx * self.burst_gap).astype(np.int64)
+        # diurnal: inverse-transform a sinusoidal rate profile by
+        # integrating the instantaneous rate over uniform progress.
+        t = np.arange(n, dtype=np.float64) / max(1, n - 1)
+        phase = 2.0 * np.pi * self.diurnal_periods * t
+        inst_rate = (self.rate_low
+                     + (self.rate - self.rate_low)
+                     * 0.5 * (1.0 - np.cos(phase)))
+        inst_rate = np.maximum(inst_rate, 1e-6)
+        jitter = rng.exponential(1.0, size=n)
+        gaps = jitter * (1000.0 / inst_rate)
+        return np.cumsum(gaps).astype(np.int64)
+
+
+#: Ready-made scenarios.  ``api`` is the headline server mix CI runs at
+#: a million requests; the others vary one axis at a time.
+PRESETS: dict[str, ScenarioSpec] = {}
+
+
+def _preset(spec: ScenarioSpec) -> ScenarioSpec:
+    PRESETS[spec.name] = spec
+    return spec
+
+
+_preset(ScenarioSpec(
+    name="api",
+    mix={"get": 55, "put": 20, "sync": 10, "compute": 8, "alloc": 6,
+         "rare": 1},
+    requests=100_000, threads=4, working_set=4096, arrival="closed",
+))
+_preset(ScenarioSpec(
+    name="open-poisson",
+    mix={"get": 60, "put": 20, "sync": 10, "alloc": 10},
+    requests=50_000, threads=4, working_set=4096,
+    arrival="open", rate=2.0,
+))
+_preset(ScenarioSpec(
+    name="burst",
+    mix={"get": 50, "put": 20, "sync": 20, "alloc": 10},
+    requests=50_000, threads=4, working_set=2048,
+    arrival="burst", burst_size=128, burst_gap=60_000,
+))
+_preset(ScenarioSpec(
+    name="diurnal",
+    mix={"get": 55, "put": 20, "sync": 10, "compute": 10, "alloc": 5},
+    requests=50_000, threads=4, working_set=4096,
+    arrival="diurnal", rate=3.0, rate_low=0.4, diurnal_periods=2,
+))
+_preset(ScenarioSpec(
+    name="contended",
+    mix={"sync": 60, "get": 30, "alloc": 10},
+    requests=30_000, threads=8, working_set=512, arrival="closed",
+))
+
+
+def get_preset(name: str) -> ScenarioSpec:
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise KeyError(f"unknown scenario preset {name!r}; "
+                       f"available: {sorted(PRESETS)}") from None

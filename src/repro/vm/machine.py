@@ -190,6 +190,12 @@ class JavaVM:
         # EMIT_OSR.
         self.dispatch_seconds = [0.0, 0.0, 0.0, 0.0]
         self.dispatch_counts = [0, 0, 0, 0]
+        # External request dispatcher (repro.traffic): an object with
+        # poll/complete natives hooks and an ``on_idle(vm)`` callback the
+        # scheduler consults before declaring deadlock — lets open-loop
+        # arrival schedules advance the cycle clock while every worker
+        # is parked waiting for load.
+        self.request_source = None
         self._interned: dict[str, JString] = {}
         # java/lang/Thread instance -> JThread, maintained at thread
         # creation (JObject is identity-hashed, so this is an identity
@@ -296,6 +302,13 @@ class JavaVM:
                 methods_installed=result.methods_installed,
                 install_cycles=result.install_cycles,
             )
+            if self.request_source is not None:
+                sp.attrs.update(
+                    requests_completed=getattr(
+                        self.request_source, "completed", 0),
+                    idle_cycles=getattr(
+                        self.request_source, "idle_cycles", 0),
+                )
             if self.tiered is not None:
                 counters = self.tiered.counters()
                 sp.attrs.update(counters)
@@ -316,6 +329,9 @@ class JavaVM:
                 live = [t for t in self.threads if t.state != FINISHED]
                 if not live or all(t.daemon for t in live):
                     break
+                if (self.request_source is not None
+                        and self.request_source.on_idle(self)):
+                    continue
                 raise DeadlockError(
                     f"all threads blocked: "
                     f"{[(t.name, t.state) for t in live]}"

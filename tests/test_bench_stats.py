@@ -1,0 +1,209 @@
+"""The statistical bench harness: steady-state detection + bootstrap CIs.
+
+Synthetic sample streams with known shapes — flat, warmup-then-flat,
+drifting, late-bimodal — must get the right verdict, and hypothesis
+gets to invent adversarial streams against the detector's invariants
+and the bootstrap interval's coverage of the point estimate.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bench.stats import (bootstrap_ci, coefficient_of_variation,
+                               detect_steady, percentiles, steady_report,
+                               summarize)
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# -- crafted streams ---------------------------------------------------
+def test_flat_stream_is_steady_with_no_warmup():
+    v = detect_steady([100.0] * 10, window=4, cv_threshold=0.05)
+    assert v.steady
+    assert v.warmup == 0
+    assert v.cv == 0.0
+    assert v.steady_samples == [100.0] * 10
+
+
+def test_warmup_prefix_is_detected_and_discarded():
+    stream = [500.0, 300.0, 180.0] + [100.0, 101.0, 99.0, 100.0, 100.5]
+    v = detect_steady(stream, window=4, cv_threshold=0.05)
+    assert v.steady
+    assert v.warmup == 3
+    assert min(v.steady_samples) > 98.0
+    assert max(v.steady_samples) < 102.0
+
+
+def test_drifting_stream_is_not_steady():
+    # Monotone 5%-per-step growth never settles under a tight threshold.
+    stream = [100.0 * (1.05 ** i) for i in range(20)]
+    v = detect_steady(stream, window=4, cv_threshold=0.02)
+    assert not v.steady
+    assert v.warmup == len(stream)
+    assert v.steady_samples == []
+
+
+def test_alternating_bimodal_stream_is_not_steady():
+    # A local window sitting inside one mode would pass; judging the
+    # full suffix catches the persistent flipping.
+    stream = [100.0, 300.0] * 8
+    v = detect_steady(stream, window=4, cv_threshold=0.05)
+    assert not v.steady
+
+
+def test_mode_flip_with_flat_tail_counts_the_first_mode_as_warmup():
+    stream = [100.0] * 8 + [300.0] * 8
+    v = detect_steady(stream, window=4, cv_threshold=0.05)
+    assert v.steady
+    assert v.warmup == 8
+    assert v.steady_samples == [300.0] * 8
+
+
+def test_bimodal_warmup_with_steady_tail_keeps_only_the_tail():
+    stream = [400.0, 90.0, 410.0, 95.0] + [200.0] * 6
+    v = detect_steady(stream, window=4, cv_threshold=0.05)
+    assert v.steady
+    assert v.warmup == 4
+    assert v.steady_samples == [200.0] * 6
+
+
+def test_short_streams_are_never_declared_steady():
+    for n in range(0, 4):
+        v = detect_steady([100.0] * n, window=4)
+        assert not v.steady, n
+        assert v.warmup == n
+
+
+def test_verdict_to_dict_has_steady_stats_only_when_steady():
+    steady = detect_steady([1.0] * 6).to_dict()
+    assert steady["steady"] and "steady_stats" in steady
+    unsteady = detect_steady([1.0, 100.0] * 6, cv_threshold=0.01).to_dict()
+    assert not unsteady["steady"] and "steady_stats" not in unsteady
+
+
+def test_cv_of_constant_and_empty_streams():
+    assert coefficient_of_variation([]) == 0.0
+    assert coefficient_of_variation([5.0]) == 0.0
+    assert coefficient_of_variation([5.0, 5.0, 5.0]) == 0.0
+    assert coefficient_of_variation([0.0, 0.0]) == 0.0
+    assert math.isinf(coefficient_of_variation([-1.0, 1.0]))
+
+
+# -- bootstrap ---------------------------------------------------------
+def test_bootstrap_is_deterministic_in_the_seed():
+    samples = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6, 5.0]
+    a = bootstrap_ci(samples, seed=7)
+    b = bootstrap_ci(samples, seed=7)
+    assert a == b
+
+
+def test_bootstrap_interval_of_constant_samples_is_degenerate():
+    ci = bootstrap_ci([2.5] * 10)
+    assert ci["lo"] == ci["point"] == ci["hi"] == 2.5
+    assert ci["rel_margin"] == 0.0
+
+
+def test_bootstrap_rejects_empty_samples():
+    with pytest.raises(ValueError):
+        bootstrap_ci([])
+
+
+def test_steady_report_attaches_ci_only_when_steady():
+    good = steady_report([10.0, 10.1, 9.9, 10.0, 10.05])
+    assert good["steady"] and "median_ci" in good
+    bad = steady_report([1.0, 50.0, 2.0, 80.0, 3.0], cv_threshold=0.01)
+    assert not bad["steady"] and "median_ci" not in bad
+
+
+# -- properties --------------------------------------------------------
+samples_strategy = st.lists(
+    st.floats(min_value=0.001, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=40,
+)
+
+
+@RELAXED
+@given(samples=samples_strategy,
+       window=st.integers(min_value=2, max_value=8),
+       threshold=st.floats(min_value=0.01, max_value=1.0))
+def test_detection_invariants(samples, window, threshold):
+    v = detect_steady(samples, window=window, cv_threshold=threshold)
+    assert 0 <= v.warmup <= len(samples)
+    if v.steady:
+        suffix = samples[v.warmup:]
+        assert len(suffix) >= window
+        # The accepted suffix really satisfies the published criterion.
+        assert coefficient_of_variation(suffix) <= threshold + 1e-12
+        # Minimality: one fewer discarded sample would not qualify.
+        if v.warmup > 0:
+            assert coefficient_of_variation(
+                samples[v.warmup - 1:]) > threshold
+    else:
+        assert v.warmup == len(samples)
+        assert v.steady_samples == []
+
+
+@RELAXED
+@given(samples=samples_strategy, scale=st.floats(min_value=0.01,
+                                                 max_value=100.0))
+def test_detection_is_scale_invariant(samples, scale):
+    # CV is dimensionless: multiplying every sample by a positive
+    # constant must not change the verdict or the warmup split.
+    a = detect_steady(samples)
+    b = detect_steady([s * scale for s in samples])
+    assert a.steady == b.steady
+    assert a.warmup == b.warmup
+
+
+@RELAXED
+@given(samples=st.lists(st.floats(min_value=0.001, max_value=1e6,
+                                  allow_nan=False, allow_infinity=False),
+                        min_size=2, max_size=40),
+       seed=st.integers(min_value=0, max_value=2**31))
+def test_bootstrap_interval_covers_the_point_estimate(samples, seed):
+    ci = bootstrap_ci(samples, seed=seed, resamples=200)
+    assert ci["lo"] <= ci["point"] <= ci["hi"]
+    assert ci["lo"] >= min(samples) - 1e-9
+    assert ci["hi"] <= max(samples) + 1e-9
+    assert ci["point"] == float(np.median(samples))
+
+
+def test_bootstrap_interval_narrows_with_sample_size():
+    # More steady samples of the same population -> tighter interval.
+    rng = np.random.default_rng(0)
+    small = rng.normal(100.0, 5.0, size=6)
+    large = rng.normal(100.0, 5.0, size=60)
+    assert (bootstrap_ci(large, seed=1)["rel_margin"]
+            < bootstrap_ci(small, seed=1)["rel_margin"])
+
+
+# -- summaries / percentiles ------------------------------------------
+def test_summarize_matches_numpy():
+    s = summarize([1.0, 2.0, 3.0, 4.0])
+    assert s["n"] == 4
+    assert s["mean"] == 2.5
+    assert s["median"] == 2.5
+    assert s["min"] == 1.0 and s["max"] == 4.0
+    assert summarize([]) == {"n": 0}
+
+
+def test_percentiles_keys_and_tail():
+    values = list(range(1, 1001))
+    p = percentiles(values)
+    assert set(p) == {"p50", "p90", "p95", "p99", "p99_9", "max"}
+    assert p["p50"] == 500 or p["p50"] == 501
+    assert p["max"] == 1000
+    assert p["p99"] <= p["p99_9"] <= p["max"]
+    empty = percentiles([])
+    assert empty["p50"] is None
